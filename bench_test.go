@@ -1,0 +1,287 @@
+package butterfly
+
+// One testing.B benchmark per evaluation artifact (Table 1, Figures 11–13),
+// plus ablations and throughput microbenchmarks. The figure benchmarks share
+// one sweep (cached across benchmarks) at a reduced scale so that
+// `go test -bench=.` completes in minutes; cmd/butterfly-bench runs the full
+// configuration and prints the same rows.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"butterfly/internal/apps"
+	"butterfly/internal/bench"
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/lifeguard/taintcheck"
+	"butterfly/internal/machine"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+var (
+	sweepOnce sync.Once
+	sweepExp  *bench.Experiments
+	sweepErr  error
+)
+
+func sweepOptions() bench.Options {
+	o := bench.DefaultOptions()
+	o.Scale = 1.0 / 128 // keep `go test -bench=.` tractable
+	return o
+}
+
+func sharedSweep(b *testing.B) *bench.Experiments {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepExp, sweepErr = bench.Run(sweepOptions())
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepExp
+}
+
+// BenchmarkTable1Params regenerates Table 1 (simulator and benchmark
+// parameters).
+func BenchmarkTable1Params(b *testing.B) {
+	o := sweepOptions()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.Table1(o)
+	}
+	if out == "" {
+		b.Fatal("empty table")
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig11RelativePerformance regenerates Figure 11: normalized
+// execution time of timesliced monitoring, butterfly monitoring, and
+// unmonitored parallel execution.
+func BenchmarkFig11RelativePerformance(b *testing.B) {
+	e := sharedSweep(b)
+	var rows []bench.Fig11Row
+	for i := 0; i < b.N; i++ {
+		rows = e.Fig11()
+	}
+	b.Log("\n" + bench.RenderFig11(rows))
+	// Surface the headline numbers as metrics: how many benchmarks
+	// butterfly wins at the highest thread count.
+	maxT := 0
+	for _, r := range rows {
+		if r.Threads > maxT {
+			maxT = r.Threads
+		}
+	}
+	wins := 0.0
+	total := 0.0
+	for _, r := range rows {
+		if r.Threads == maxT {
+			total++
+			if r.Butterfly < r.Timesliced {
+				wins++
+			}
+		}
+	}
+	b.ReportMetric(wins, "wins@maxthreads")
+	b.ReportMetric(total, "benchmarks")
+}
+
+// BenchmarkFig12EpochSizePerf regenerates Figure 12: butterfly performance
+// at the two epoch sizes.
+func BenchmarkFig12EpochSizePerf(b *testing.B) {
+	e := sharedSweep(b)
+	var rows []bench.Fig12Row
+	for i := 0; i < b.N; i++ {
+		rows = e.Fig12()
+	}
+	b.Log("\n" + bench.RenderFig12(rows))
+}
+
+// BenchmarkFig13FalsePositives regenerates Figure 13: false positives as a
+// percentage of memory accesses at the two epoch sizes, and asserts the
+// zero-false-negative guarantee.
+func BenchmarkFig13FalsePositives(b *testing.B) {
+	e := sharedSweep(b)
+	var rows []bench.Fig13Row
+	for i := 0; i < b.N; i++ {
+		rows = e.Fig13()
+	}
+	b.Log("\n" + bench.RenderFig13(rows))
+	worst := 0.0
+	for _, r := range rows {
+		if r.FalseNegatives != 0 {
+			b.Fatalf("%s/%d: false negatives", r.App, r.Threads)
+		}
+		if r.RatePercent > worst {
+			worst = r.RatePercent
+		}
+	}
+	b.ReportMetric(worst, "worstFP%")
+}
+
+// BenchmarkAblationTaintPhases compares TaintCheck resolution strategies
+// (two-phase vs single-phase vs relaxed termination).
+func BenchmarkAblationTaintPhases(b *testing.B) {
+	var rows []bench.TaintAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.TaintPhaseAblation(3, 4, 24, 4, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + bench.RenderTaintAblation(rows))
+}
+
+// BenchmarkButterflyAddrCheck measures end-to-end butterfly AddrCheck
+// throughput (events analyzed per second) over an ocean trace.
+func BenchmarkButterflyAddrCheck(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			app, err := apps.ByName("ocean")
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := app.Build(apps.Params{Threads: threads, TargetOps: 50000, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := machine.Table1Config(threads)
+			cfg.HeartbeatH = 1024
+			res, err := machine.Run(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := epoch.ChunkByHeartbeat(res.Trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := &core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: true}
+				r := d.Run(g)
+				if r.Events == 0 {
+					b.Fatal("no events")
+				}
+			}
+			b.ReportMetric(float64(g.TotalEvents()*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkSequentialOracleAddrCheck measures the sequential baseline's
+// throughput for comparison.
+func BenchmarkSequentialOracleAddrCheck(b *testing.B) {
+	app, err := apps.ByName("ocean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := app.Build(apps.Params{Threads: 4, TargetOps: 50000, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Table1Config(4)
+	cfg.HeartbeatH = 1024
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := res.Trace.Serialize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := addrcheck.NewOracle(cfg.HeapBase)
+		for j, e := range events {
+			o.Process(trace.Ref{Index: j}, e)
+		}
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTaintCheckResolution measures the Check algorithm on dense
+// propagation chains.
+func BenchmarkTaintCheckResolution(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tb := trace.NewBuilder(4)
+	loc := func() uint64 { return uint64(0x100 + rng.Intn(16)) }
+	for t := 0; t < 4; t++ {
+		tb.T(trace.ThreadID(t))
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				tb.Taint(loc(), 1)
+			case 1:
+				tb.Untaint(loc())
+			case 2, 3, 4:
+				tb.Binop(loc(), loc(), loc())
+			default:
+				tb.Jump(loc())
+			}
+		}
+	}
+	g, err := epoch.ChunkByCount(tb.Build(), 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := &core.Driver{LG: taintcheck.New()}
+		d.Run(g)
+	}
+	b.ReportMetric(float64(g.TotalEvents()*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkIntervalSet measures the interval-set operations underlying
+// AddrCheck metadata.
+func BenchmarkIntervalSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	b.Run("AddRemove", func(b *testing.B) {
+		s := sets.NewIntervalSet()
+		for i := 0; i < b.N; i++ {
+			lo := uint64(rng.Intn(1 << 20))
+			if i%3 == 0 {
+				s.RemoveRange(lo, lo+64)
+			} else {
+				s.AddRange(lo, lo+64)
+			}
+		}
+	})
+	b.Run("ContainsRange", func(b *testing.B) {
+		s := sets.NewIntervalSet()
+		for i := 0; i < 4096; i++ {
+			lo := uint64(rng.Intn(1 << 20))
+			s.AddRange(lo, lo+48)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := uint64(rng.Intn(1 << 20))
+			s.ContainsRange(lo, lo+8)
+		}
+	})
+}
+
+// BenchmarkMachineSimulation measures trace generation throughput.
+func BenchmarkMachineSimulation(b *testing.B) {
+	app, err := apps.ByName("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := app.Build(apps.Params{Threads: 4, TargetOps: 50000, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Table1Config(4)
+	cfg.HeartbeatH = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.NumOps()*b.N)/b.Elapsed().Seconds(), "ops/s")
+}

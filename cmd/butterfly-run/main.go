@@ -1,0 +1,132 @@
+// Command butterfly-run executes a butterfly-analysis lifeguard over a
+// trace file produced by tracegen (or any tool emitting the trace format).
+//
+// Usage:
+//
+//	butterfly-run -lifeguard addrcheck -heapbase 0x100000 ocean.bfly
+//
+// With -compare, the trace's embedded ground-truth interleaving is replayed
+// through the sequential oracle and the butterfly reports are scored
+// against it (true/false positives; false negatives are impossible and
+// verified).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/lifeguard/lockset"
+	"butterfly/internal/lifeguard/memcheck"
+	"butterfly/internal/lifeguard/taintcheck"
+	"butterfly/internal/trace"
+)
+
+func main() {
+	var (
+		lgName   = flag.String("lifeguard", "addrcheck", "lifeguard: addrcheck, memcheck, taintcheck or lockset")
+		heapBase = flag.Uint64("heapbase", 1<<20, "heap-only filter: ignore accesses below this address (addrcheck)")
+		h        = flag.Int("h", 0, "re-chunk epochs at this size (0 = use the trace's heartbeats)")
+		relaxed  = flag.Bool("relaxed", false, "taintcheck: use the relaxed-memory-model termination condition")
+		compare  = flag.Bool("compare", false, "score against the trace's ground-truth interleaving")
+		seq      = flag.Bool("seq", false, "run the driver sequentially")
+		maxShow  = flag.Int("max-reports", 20, "print at most this many reports")
+		text     = flag.Bool("text", false, "input is in text format")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	var tr *trace.Trace
+	var err error
+	if *text {
+		tr, err = trace.ReadText(in)
+	} else {
+		tr, err = trace.ReadBinary(in)
+	}
+	if err != nil {
+		fatalf("reading %s: %v", name, err)
+	}
+
+	var g *epoch.Grid
+	if *h > 0 {
+		g, err = epoch.ChunkByCount(tr, *h)
+	} else {
+		g, err = epoch.ChunkByHeartbeat(tr)
+	}
+	if err != nil {
+		fatalf("chunking: %v", err)
+	}
+
+	var lg core.Lifeguard
+	var oracle lifeguard.Oracle
+	switch *lgName {
+	case "addrcheck":
+		lg = addrcheck.New(*heapBase)
+		oracle = addrcheck.NewOracle(*heapBase)
+	case "memcheck":
+		lg = memcheck.New(*heapBase)
+		oracle = memcheck.NewOracle(*heapBase)
+	case "lockset":
+		lg = lockset.New()
+		oracle = lockset.NewOracle()
+	case "taintcheck":
+		if *relaxed {
+			lg = taintcheck.NewRelaxed()
+		} else {
+			lg = taintcheck.New()
+		}
+		oracle = taintcheck.NewOracle()
+	default:
+		fatalf("unknown lifeguard %q", *lgName)
+	}
+
+	res := (&core.Driver{LG: lg, Parallel: !*seq}).Run(g)
+	fmt.Printf("%s: %d threads, %d epochs, %d events → %d reports\n",
+		lg.Name(), g.NumThreads, g.NumEpochs(), res.Events, len(res.Reports))
+	for i, r := range res.Reports {
+		if i >= *maxShow {
+			fmt.Printf("  ... %d more\n", len(res.Reports)-*maxShow)
+			break
+		}
+		fmt.Printf("  %v\n", r)
+	}
+
+	if *compare {
+		if tr.Global == nil {
+			fatalf("-compare requires a trace with ground truth")
+		}
+		items, err := interleave.FromGlobal(g, tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		truth := lifeguard.RunOracle(oracle, items)
+		cmp := lifeguard.Compare(res.Reports, truth, tr.MemAccesses())
+		fmt.Printf("ground truth: %d true errors; butterfly: %d TP, %d FP (%.6f%% of %d accesses), %d FN\n",
+			len(truth), len(cmp.TruePositives), len(cmp.FalsePositives),
+			100*cmp.FPRate(), cmp.MemAccesses, len(cmp.FalseNegatives))
+		if len(cmp.FalseNegatives) > 0 {
+			fatalf("FALSE NEGATIVES DETECTED — this violates Theorem 6.1/6.2 and is a bug")
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "butterfly-run: "+format+"\n", args...)
+	os.Exit(1)
+}

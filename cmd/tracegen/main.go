@@ -1,0 +1,81 @@
+// Command tracegen runs one of the benchmark analogs on the simulated CMP
+// and writes the resulting multi-threaded event trace (heartbeats and
+// ground truth included) to a file, for consumption by butterfly-run.
+//
+// Usage:
+//
+//	tracegen -app ocean -threads 4 -ops 100000 -h 2048 -o ocean.bfly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"butterfly/internal/apps"
+	"butterfly/internal/machine"
+	"butterfly/internal/trace"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "ocean", "benchmark analog: barnes, fft, fmm, ocean, blackscholes, lu")
+		threads = flag.Int("threads", 4, "application thread count")
+		ops     = flag.Int("ops", 100000, "approximate operations per thread")
+		h       = flag.Int("h", 2048, "epoch size in instructions per thread")
+		skew    = flag.Int("skew", 32, "max heartbeat reception skew in instructions")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "binary", "output format: binary or text")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	p, err := app.Build(apps.Params{Threads: *threads, TargetOps: *ops, Seed: *seed})
+	if err != nil {
+		fatalf("building %s: %v", *appName, err)
+	}
+	cfg := machine.Table1Config(*threads)
+	cfg.Seed = *seed
+	cfg.HeartbeatH = *h
+	cfg.SkewOps = *skew
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		fatalf("simulating %s: %v", *appName, err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("closing output: %v", err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(w, res.Trace)
+	case "text":
+		err = trace.WriteText(w, res.Trace)
+	default:
+		fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %s ×%d threads: %d events, %d memory accesses, %d cycles, heap peak %d B\n",
+		*appName, *threads, res.Trace.NumEvents(), res.MemAccesses, res.Cycles, res.HeapPeak)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

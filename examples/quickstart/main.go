@@ -1,0 +1,63 @@
+// Quickstart: run a butterfly-analysis lifeguard over a hand-built
+// multithreaded trace in three steps — build the per-thread event
+// sequences, chunk them into uncertainty epochs, and drive a lifeguard over
+// the epoch grid.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/trace"
+)
+
+func main() {
+	// Step 1 — per-thread event sequences. Thread 0 allocates a buffer,
+	// fills it, and much later frees it. Thread 1 reads the buffer twice:
+	// once long after the allocation (safe and provably so), and once right
+	// next to the free (potentially concurrent → conservatively flagged).
+	// Heartbeats demarcate the uncertainty epochs.
+	const buf = 0x1000
+	tr := trace.NewBuilder(2).
+		T(0).
+		Alloc(buf, 64).Write(buf, 64). // epoch 0: allocate and initialize
+		Heartbeat().Nop(4).            // epoch 1: unrelated work
+		Heartbeat().Nop(4).            // epoch 2
+		Heartbeat().Nop(4).            // epoch 3
+		Heartbeat().Free(buf, 64).     // epoch 4: release
+		T(1).
+		Nop(2).
+		Heartbeat().Nop(4).
+		Heartbeat().Read(buf, 8). // epoch 2: ≥2 epochs from alloc and free — safe
+		Heartbeat().Nop(4).
+		Heartbeat().Read(buf, 8). // epoch 4: adjacent to the free — flagged
+		Build()
+
+	// Step 2 — chunk into epochs at the heartbeat markers.
+	grid, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d threads × %d epochs, %d events\n",
+		grid.NumThreads, grid.NumEpochs(), grid.TotalEvents())
+
+	// Step 3 — drive a lifeguard over the grid. AddrCheck verifies that
+	// every access touches allocated memory, with zero false negatives.
+	driver := &core.Driver{LG: addrcheck.New(0)}
+	result := driver.Run(grid)
+
+	fmt.Printf("%d report(s):\n", len(result.Reports))
+	for _, r := range result.Reports {
+		fmt.Printf("  %v\n", r)
+	}
+	fmt.Println()
+	fmt.Println("The epoch-2 read is two epochs after the allocation, so the strongly")
+	fmt.Println("ordered state proves it safe. The epoch-4 read is potentially concurrent")
+	fmt.Println("with the free — butterfly analysis flags it rather than risk missing a")
+	fmt.Println("real use-after-free (the paper's conservative false-positive tradeoff).")
+}

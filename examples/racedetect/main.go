@@ -1,0 +1,65 @@
+// Racedetect: find a lock-discipline violation with the butterfly lockset
+// detector (an Eraser-style lifeguard — the paper's third class of
+// monitoring tools). Two threads update a shared counter; one takes the
+// mutex, the other forgets. The candidate-lockset intersection for the
+// counter drains to empty and the race is flagged — without any ordering
+// information between the threads.
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/lockset"
+	"butterfly/internal/trace"
+)
+
+func main() {
+	const (
+		mu      = 0x9000 // mutex id
+		counter = 0x100  // shared counter
+		stats   = 0x200  // properly protected shared statistics
+	)
+
+	tr := trace.NewBuilder(2).
+		T(0).
+		Lock(mu).Read(counter, 8).Write(counter, 8).Unlock(mu). // locked update
+		Lock(mu).Read(stats, 8).Write(stats, 8).Unlock(mu).
+		Heartbeat().
+		Lock(mu).Read(stats, 8).Write(stats, 8).Unlock(mu).
+		T(1).
+		Read(counter, 8).Write(counter, 8). // BUG: forgot the mutex
+		Lock(mu).Read(stats, 8).Write(stats, 8).Unlock(mu).
+		Heartbeat().
+		Nop(2).
+		Build()
+
+	grid, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := (&core.Driver{LG: lockset.New()}).Run(grid)
+
+	fmt.Printf("%d report(s):\n", len(res.Reports))
+	racedCounter := false
+	for _, r := range res.Reports {
+		fmt.Printf("  %v\n", r)
+		if r.Ev.Addr == counter {
+			racedCounter = true
+		}
+		if r.Ev.Addr == stats {
+			log.Fatal("consistently locked data flagged — detector too coarse")
+		}
+	}
+	if !racedCounter {
+		log.Fatal("the unlocked counter update was missed")
+	}
+	fmt.Println()
+	fmt.Println("The counter is written under the mutex by thread 0 but bare by thread 1:")
+	fmt.Println("its candidate lockset drains to ∅ → race. The stats block, always accessed")
+	fmt.Println("under the mutex, keeps a non-empty candidate and stays quiet.")
+}

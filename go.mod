@@ -1,0 +1,3 @@
+module butterfly
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package apps provides synthetic analogs of the paper's six evaluation
+// benchmarks (Table 1): BARNES, FFT, FMM, OCEAN, LU from Splash-2 and
+// BLACKSCHOLES from Parsec 2.0.
+//
+// Butterfly analysis accuracy and performance depend on a workload's
+// *memory-event structure* — the mix of reads/writes/allocations, how much
+// allocation state changes concurrently with accesses from other threads,
+// phase/barrier structure, and balance — not on its arithmetic. Each analog
+// reproduces the sharing and allocation pattern that drives the paper's
+// results:
+//
+//	BLACKSCHOLES  embarrassingly parallel, allocate-once, dense accesses
+//	FFT           allocate-once, all-to-all reads at phase boundaries
+//	LU            blocked ownership, diagonal-block producer/consumer,
+//	              shrinking parallelism (imbalance)
+//	BARNES        per-iteration tree rebuild by one thread, read by all
+//	FMM           per-iteration per-thread interaction lists, neighbor reads
+//	OCEAN         per-iteration boundary-buffer realloc + immediate
+//	              neighbor reads (high metadata churn → most FPs)
+//
+// All programs are barrier-synchronized and race-free: every cross-thread
+// use of an allocation is separated from its (re)allocation by a barrier, so
+// the sequential oracle reports no errors and every butterfly report is a
+// false positive — exactly the paper's Figure 13 setting.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/machine"
+)
+
+// Params scales a workload.
+type Params struct {
+	// Threads is the application thread count.
+	Threads int
+	// TargetOps is the approximate operation count per thread. Zero means
+	// the default (16384).
+	TargetOps int
+	// Seed drives per-app randomness (access patterns).
+	Seed int64
+}
+
+func (p Params) targetOps() int {
+	if p.TargetOps <= 0 {
+		return 16384
+	}
+	return p.TargetOps
+}
+
+// App is a named workload generator.
+type App struct {
+	Name string
+	// Input describes the paper's input data set for Table 1.
+	Input string
+	// Build constructs the program.
+	Build func(Params) (*machine.Program, error)
+}
+
+// All lists the six benchmark analogs in the paper's Figure 11 order.
+var All = []App{
+	{"barnes", "16384 bodies", Barnes},
+	{"fft", "m = 20 (2^20 sized matrix)", FFT},
+	{"fmm", "32768 bodies", FMM},
+	{"ocean", "258x258 grid", Ocean},
+	{"blackscholes", "16384 options (simmedium)", BlackScholes},
+	{"lu", "1024x1024 matrix, b = 64", LU},
+}
+
+// ByName returns the app with the given name.
+func ByName(name string) (App, error) {
+	for _, a := range All {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown benchmark %q", name)
+}
+
+// computeRead emits a read plus compute instructions — the inner-loop
+// building block shared by all analogs.
+func computeRead(b *machine.Builder, t, buf int, off, size uint64, compute int) {
+	b.Read(t, buf, off, size)
+	b.Nop(t, compute)
+}
+
+// initBuffer emits the owner's initialization writes over a fresh
+// allocation (8-byte strides). Real programs initialize memory before
+// sharing it; the init phase also distances the allocation event from other
+// threads' first reads, which otherwise flag as potentially concurrent.
+func initBuffer(b *machine.Builder, t, buf int, bytes uint64) {
+	for off := uint64(0); off+8 <= bytes; off += 8 {
+		b.Write(t, buf, off, 8)
+	}
+}
+
+// rng returns a deterministic per-app, per-thread random source.
+func rng(seed int64, app string, t int) *rand.Rand {
+	h := int64(1469598103934665603)
+	for _, c := range app {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h ^ int64(t)*2654435761))
+}

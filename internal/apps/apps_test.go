@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/machine"
+	"butterfly/internal/trace"
+)
+
+func testConfig(threads int) machine.Config {
+	cfg := machine.Table1Config(threads)
+	cfg.HeartbeatH = 256
+	cfg.SkewOps = 8
+	cfg.HeapBase = 0x10000
+	cfg.HeapSize = 8 << 20
+	return cfg
+}
+
+func TestAllAppsBuildAndValidate(t *testing.T) {
+	for _, app := range All {
+		for _, threads := range []int{1, 2, 4, 8} {
+			p, err := app.Build(Params{Threads: threads, TargetOps: 2000, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%d: build: %v", app.Name, threads, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s/%d: validate: %v", app.Name, threads, err)
+			}
+			if p.NumOps() < 1000*threads/2 {
+				t.Errorf("%s/%d: suspiciously small program (%d ops)", app.Name, threads, p.NumOps())
+			}
+		}
+	}
+}
+
+func TestAllAppsRunRaceFree(t *testing.T) {
+	// Every analog must be race-free under the sequential oracle: the
+	// ground-truth interleaving shows zero true AddrCheck errors. (This is
+	// the precondition for reading all butterfly reports as FPs.)
+	for _, app := range All {
+		p, err := app.Build(Params{Threads: 4, TargetOps: 3000, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		cfg := testConfig(4)
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatalf("%s: run: %v", app.Name, err)
+		}
+		g, err := epoch.ChunkByHeartbeat(res.Trace)
+		if err != nil {
+			t.Fatalf("%s: chunk: %v", app.Name, err)
+		}
+		items, err := interleave.FromGlobal(g, res.Trace)
+		if err != nil {
+			t.Fatalf("%s: ground truth: %v", app.Name, err)
+		}
+		truth := lifeguard.RunOracle(addrcheck.NewOracle(cfg.HeapBase), items)
+		if len(truth) != 0 {
+			t.Errorf("%s: workload has %d true errors (should be race-free); first: %v",
+				app.Name, len(truth), truth[0])
+		}
+	}
+}
+
+func TestButterflyZeroFalseNegativesOnApps(t *testing.T) {
+	// End-to-end: butterfly AddrCheck over machine-generated traces never
+	// misses an error present in the ground truth (trivially true for
+	// race-free apps, but exercises the full pipeline), and FP accounting
+	// is well formed.
+	app, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Build(Params{Threads: 4, TargetOps: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(4)
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := epoch.ChunkByHeartbeat(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: true}).Run(g)
+	items, err := interleave.FromGlobal(g, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lifeguard.RunOracle(addrcheck.NewOracle(cfg.HeapBase), items)
+	cmp := lifeguard.Compare(bres.Reports, truth, res.Trace.MemAccesses())
+	if len(cmp.FalseNegatives) != 0 {
+		t.Fatalf("false negatives on ocean: %v", cmp.FalseNegatives)
+	}
+	t.Logf("ocean: %d FPs over %d accesses (rate %.4g%%)",
+		len(cmp.FalsePositives), cmp.MemAccesses, 100*cmp.FPRate())
+}
+
+func TestOceanChurnsMoreThanFFT(t *testing.T) {
+	// The allocation-churn ordering that drives Figure 13: ocean must
+	// produce more butterfly FPs than fft at the same epoch size.
+	fpCount := func(name string) int {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := app.Build(Params{Threads: 4, TargetOps: 4000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(4)
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := epoch.ChunkByHeartbeat(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres := (&core.Driver{LG: addrcheck.New(cfg.HeapBase)}).Run(g)
+		return len(bres.Reports)
+	}
+	ocean := fpCount("ocean")
+	fft := fpCount("fft")
+	if ocean <= fft {
+		t.Errorf("ocean FPs (%d) should exceed fft FPs (%d)", ocean, fft)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	a, err := ByName("lu")
+	if err != nil || a.Name != "lu" {
+		t.Errorf("ByName(lu) = %v, %v", a.Name, err)
+	}
+	if len(All) != 6 {
+		t.Errorf("expected 6 benchmarks, have %d", len(All))
+	}
+	for _, a := range All {
+		if a.Input == "" {
+			t.Errorf("%s missing Table 1 input description", a.Name)
+		}
+	}
+}
+
+func TestAppsMemAccessDensityDiffers(t *testing.T) {
+	// Blackscholes should have the densest memory-access mix (it is
+	// lifeguard-bound in the paper); sanity-check the mixes are not all
+	// identical.
+	density := func(name string) float64 {
+		app, _ := ByName(name)
+		p, err := app.Build(Params{Threads: 2, TargetOps: 60000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := machine.Run(p, testConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.MemAccesses) / float64(res.Instructions)
+	}
+	bs := density("blackscholes")
+	barnes := density("barnes")
+	if bs <= barnes {
+		t.Errorf("blackscholes access density (%.3f) should exceed barnes (%.3f)", bs, barnes)
+	}
+}
+
+func TestSingleThreadRuns(t *testing.T) {
+	// The sequential-unmonitored baseline of Figure 11 needs every app to
+	// run with one thread.
+	for _, app := range All {
+		p, err := app.Build(Params{Threads: 1, TargetOps: 1500, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		res, err := machine.Run(p, testConfig(1))
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("%s: zero cycles", app.Name)
+		}
+		_ = trace.ThreadID(0)
+	}
+}

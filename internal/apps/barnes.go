@@ -1,0 +1,88 @@
+package apps
+
+import "butterfly/internal/machine"
+
+// Barnes models the Splash-2 Barnes-Hut N-body simulation (16384 bodies):
+// the octree cell pool is allocated once, and each timestep every thread
+// traverses the shared tree (scattered reads) to compute forces on its own
+// bodies (local writes). Each timestep, thread 0 also grows the tree by
+// allocating a fresh extension buffer for the new cells (freeing the
+// previous timestep's) — a small per-iteration allocation that other
+// threads read mid-phase. Those few churn-adjacent reads give Barnes a
+// small false-positive rate that climbs with the epoch size.
+func Barnes(p Params) (*machine.Program, error) {
+	const (
+		treeBytes  = 65536
+		extBytes   = 1024
+		bodyBytes  = 64
+		computePer = 3
+	)
+	b := machine.NewBuilder("barnes", p.Threads)
+	bodies := make([]int, p.Threads)
+	for t := range bodies {
+		bodies[t] = b.NewBuffer()
+		b.Alloc(t, bodies[t], 64*bodyBytes)
+	}
+	tree := b.NewBuffer()
+	b.Alloc(0, tree, treeBytes)
+	// Thread 0 builds the initial tree before the first timestep; the other
+	// threads initialize their own body arrays.
+	initBuffer(b, 0, tree, treeBytes)
+	for t := 1; t < p.Threads; t++ {
+		initBuffer(b, t, bodies[t], 64*bodyBytes)
+	}
+	initBuffer(b, 0, bodies[0], 64*bodyBytes)
+	// Input parsing and initial tree construction are serial in the real
+	// benchmark; the setup phase also distances the big allocations from
+	// the parallel phase's first shared reads.
+	b.Nop(0, p.targetOps()/8)
+	ext := b.NewBuffer()
+	b.Barrier()
+
+	iterations := 16
+	perIter := p.targetOps() / iterations
+	traversals := perIter / (3 + computePer)
+	if traversals < 16 {
+		traversals = 16
+	}
+
+	for it := 0; it < iterations; it++ {
+		// Thread 0 grows the tree: realloc the extension cell buffer.
+		if it > 0 {
+			b.Free(0, ext)
+		}
+		b.Alloc(0, ext, extBytes)
+		for i := 0; i < 8; i++ {
+			b.Write(0, ext, uint64(i*96), 16)
+		}
+		// Everyone updates the main tree cells for the new timestep.
+		for t := 0; t < p.Threads; t++ {
+			r := rng(p.Seed, "barnes-build", t*100+it)
+			for i := 0; i < traversals/8; i++ {
+				off := uint64(r.Intn(treeBytes - 16))
+				b.Read(t, tree, off, 16)
+				b.Write(t, tree, off, 8)
+			}
+		}
+		b.Barrier()
+		// Force computation: traverse the shared tree; read the fresh
+		// extension cells once mid-phase (far from the realloc and from the
+		// next one — the distance that makes flagging epoch-size dependent).
+		for t := 0; t < p.Threads; t++ {
+			r := rng(p.Seed, "barnes", t*100+it)
+			for i := 0; i < traversals; i++ {
+				if i == traversals/3 || i == 2*traversals/3 {
+					b.Read(t, ext, uint64(r.Intn(extBytes-16)), 16)
+				}
+				off := uint64(r.Intn(treeBytes - 16))
+				computeRead(b, t, tree, off, 16, computePer)
+				b.Write(t, bodies[t], uint64(r.Intn(64))*bodyBytes, 8)
+			}
+		}
+		b.Barrier()
+	}
+	// No teardown frees: like the real benchmarks, the process exits and
+	// the OS reclaims the heap. (Exit-time frees adjacent to the final
+	// epochs' accesses would otherwise dominate the FP counts.)
+	return b.Build()
+}

@@ -1,0 +1,57 @@
+package apps
+
+import "butterfly/internal/machine"
+
+// BlackScholes models the Parsec option-pricing kernel: one thread
+// allocates the shared option and result arrays once; every thread then
+// prices its own contiguous slice — two input reads, a burst of compute,
+// one result write per option — with no cross-thread communication at all.
+// Memory-access density is high relative to the other analogs, which makes
+// the lifeguard the bottleneck and keeps the timesliced baseline
+// competitive (the paper's one case where butterfly has not crossed over at
+// eight threads).
+func BlackScholes(p Params) (*machine.Program, error) {
+	const (
+		optionSize = 32
+		resultSize = 8
+		computePer = 4
+	)
+	b := machine.NewBuilder("blackscholes", p.Threads)
+	options := b.NewBuffer()
+	results := b.NewBuffer()
+
+	// Options per thread sized to hit the op target: each option costs
+	// 4 field reads (spot, strike, rate, volatility) + compute + 1 write.
+	perOption := 5 + computePer
+	optsPerThread := p.targetOps() / perOption
+	if optsPerThread < 1 {
+		optsPerThread = 1
+	}
+	total := optsPerThread * p.Threads
+
+	b.Alloc(0, options, uint64(total*optionSize))
+	b.Alloc(0, results, uint64(total*resultSize))
+	// Input parse: thread 0 initializes the portfolio sequentially in
+	// 256-byte blocks before the workers start (the real benchmark reads
+	// its portfolio from a file). The serial phase distances the allocation
+	// from the workers' first reads.
+	for i := 0; i < total; i += 8 {
+		b.Write(0, options, uint64(i*optionSize), 8*optionSize)
+		b.Nop(0, 2)
+	}
+	b.Barrier()
+	for t := 0; t < p.Threads; t++ {
+		base := t * optsPerThread
+		for i := 0; i < optsPerThread; i++ {
+			off := uint64((base + i) * optionSize)
+			b.Read(t, options, off, 8)
+			b.Read(t, options, off+8, 8)
+			b.Read(t, options, off+16, 8)
+			computeRead(b, t, options, off+24, 8, computePer)
+			b.Write(t, results, uint64((base+i)*resultSize), resultSize)
+		}
+	}
+	b.Barrier()
+	// No teardown frees (see Barnes): the OS reclaims at exit.
+	return b.Build()
+}

@@ -1,0 +1,71 @@
+package apps
+
+import "butterfly/internal/machine"
+
+// FFT models the Splash-2 six-step FFT: each thread owns a chunk of the
+// matrix, allocated once up front. Computation alternates between local
+// butterfly phases (reads and writes within the own chunk, good locality)
+// and transpose phases in which every thread reads a stripe of every other
+// thread's chunk (all-to-all), separated by barriers. Allocation state
+// never changes after startup, so butterfly AddrCheck produces almost no
+// false positives regardless of epoch size.
+func FFT(p Params) (*machine.Program, error) {
+	const (
+		chunkSize  = 32768
+		computePer = 2
+	)
+	b := machine.NewBuilder("fft", p.Threads)
+	chunks := make([]int, p.Threads)
+	for t := range chunks {
+		chunks[t] = b.NewBuffer()
+		b.Alloc(t, chunks[t], chunkSize)
+		initBuffer(b, t, chunks[t], chunkSize)
+	}
+	b.Barrier()
+
+	// Cost per iteration ≈ localWork×(2+compute) + transpose reads.
+	iterations := 4
+	perIter := p.targetOps() / iterations
+	localWork := perIter * 2 / (3 * (2 + computePer))
+	if localWork < 4 {
+		localWork = 4
+	}
+	transposeWork := perIter / 3
+	if transposeWork < p.Threads {
+		transposeWork = p.Threads
+	}
+
+	for it := 0; it < iterations; it++ {
+		// Local butterfly phase: stride through the own chunk.
+		for t := 0; t < p.Threads; t++ {
+			r := rng(p.Seed, "fft", t*1000+it)
+			for i := 0; i < localWork; i++ {
+				off := uint64(r.Intn(chunkSize - 8))
+				computeRead(b, t, chunks[t], off, 8, computePer)
+				b.Write(t, chunks[t], off, 8)
+			}
+		}
+		b.Barrier()
+		// Transpose: read stripes from every other thread's chunk, write
+		// into the own chunk.
+		for t := 0; t < p.Threads; t++ {
+			r := rng(p.Seed, "fft-t", t*1000+it)
+			for i := 0; i < transposeWork; i++ {
+				src := chunks[(t+1+i%maxInt(p.Threads-1, 1))%p.Threads]
+				off := uint64(r.Intn(chunkSize - 8))
+				b.Read(t, src, off, 8)
+				b.Write(t, chunks[t], off, 8)
+			}
+		}
+		b.Barrier()
+	}
+	// No teardown frees (see Barnes): the OS reclaims at exit.
+	return b.Build()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

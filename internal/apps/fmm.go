@@ -1,0 +1,80 @@
+package apps
+
+import "butterfly/internal/machine"
+
+// FMM models the Splash-2 fast multipole method (32768 bodies): per-thread
+// interaction lists are allocated once up front; each timestep every thread
+// rebuilds its list contents in place, then after a barrier reads its
+// neighbors' lists to apply symmetric interactions. Each thread also churns
+// a private scratch buffer every timestep — allocation activity that no
+// other thread ever touches, so FMM's false-positive rate stays low and
+// nearly flat in the epoch size (like FFT and LU in Figure 13).
+func FMM(p Params) (*machine.Program, error) {
+	const (
+		listBytes    = 8192
+		cellBytes    = 32768
+		scratchBytes = 512
+		computePer   = 3
+	)
+	b := machine.NewBuilder("fmm", p.Threads)
+	cells := b.NewBuffer()
+	b.Alloc(0, cells, cellBytes)
+	initBuffer(b, 0, cells, cellBytes)
+	lists := make([]int, p.Threads)
+	scratch := make([]int, p.Threads)
+	for t := range lists {
+		lists[t] = b.NewBuffer()
+		b.Alloc(t, lists[t], listBytes)
+		initBuffer(b, t, lists[t], listBytes)
+		scratch[t] = b.NewBuffer()
+	}
+	// Serial setup (input parsing, initial box decomposition).
+	b.Nop(0, p.targetOps()/8)
+	b.Barrier()
+
+	iterations := 6
+	perIter := p.targetOps() / iterations
+	interactions := perIter / (3 + computePer)
+	if interactions < 8 {
+		interactions = 8
+	}
+	buildWrites := maxInt(interactions/4, 8)
+
+	for it := 0; it < iterations; it++ {
+		// Rebuild interaction lists in place; churn the private scratch.
+		for t := 0; t < p.Threads; t++ {
+			if it > 0 {
+				b.Free(t, scratch[t])
+			}
+			b.Alloc(t, scratch[t], scratchBytes)
+			r := rng(p.Seed, "fmm-build", t*100+it)
+			for i := 0; i < buildWrites; i++ {
+				b.Read(t, cells, uint64(r.Intn(cellBytes-8)), 8)
+				b.Write(t, scratch[t], uint64(r.Intn(scratchBytes-8)), 8)
+				b.Write(t, lists[t], uint64(r.Intn(listBytes-8)), 8)
+			}
+		}
+		b.Barrier()
+		// Apply interactions: read own and both neighbors' lists.
+		for t := 0; t < p.Threads; t++ {
+			r := rng(p.Seed, "fmm-apply", t*100+it)
+			left := lists[(t+p.Threads-1)%p.Threads]
+			right := lists[(t+1)%p.Threads]
+			for i := 0; i < interactions; i++ {
+				src := lists[t]
+				switch i % 4 {
+				case 1:
+					src = left
+				case 3:
+					src = right
+				}
+				off := uint64(r.Intn(listBytes - 8))
+				computeRead(b, t, src, off, 8, computePer)
+				b.Write(t, cells, uint64((t*64+i)%(cellBytes-8)), 8)
+			}
+		}
+		b.Barrier()
+	}
+	// No teardown frees (see Barnes): the OS reclaims at exit.
+	return b.Build()
+}

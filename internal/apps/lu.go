@@ -1,0 +1,77 @@
+package apps
+
+import "butterfly/internal/machine"
+
+// LU models the Splash-2 blocked dense LU factorization (b = 64): the
+// matrix is divided into blocks owned round-robin by threads and allocated
+// once. Iteration k factors the diagonal block (its owner writes it, others
+// wait), then every thread updates its still-active blocks using reads of
+// the freshly produced diagonal and perimeter data. Blocks retire as k
+// advances, so fewer threads have work in later iterations — the imbalance
+// that keeps timesliced monitoring competitive at low thread counts.
+func LU(p Params) (*machine.Program, error) {
+	const (
+		blockBytes = 4096
+		computePer = 2
+	)
+	b := machine.NewBuilder("lu", p.Threads)
+
+	// A (k × k) grid of blocks, owner = (i + j) mod T.
+	k := 6
+	blocks := make([][]int, k)
+	for i := range blocks {
+		blocks[i] = make([]int, k)
+		for j := range blocks[i] {
+			buf := b.NewBuffer()
+			blocks[i][j] = buf
+			owner := (i + j) % p.Threads
+			b.Alloc(owner, buf, blockBytes)
+			initBuffer(b, owner, buf, blockBytes)
+		}
+	}
+	// Serial setup (matrix read and distribution).
+	b.Nop(0, p.targetOps()/8)
+	b.Barrier()
+
+	// Work per update scaled to the op target: roughly k iterations ×
+	// active blocks × touches.
+	totalUpdates := 0
+	for step := 0; step < k; step++ {
+		totalUpdates += (k - step) * (k - step)
+	}
+	touches := p.targetOps() * p.Threads / maxInt(totalUpdates*(3+computePer), 1)
+	if touches < 2 {
+		touches = 2
+	}
+
+	for step := 0; step < k; step++ {
+		owner := (2 * step) % p.Threads
+		// Factor the diagonal block.
+		for i := 0; i < touches*2; i++ {
+			off := uint64((i * 64) % (blockBytes - 8))
+			computeRead(b, owner, blocks[step][step], off, 8, computePer)
+			b.Write(owner, blocks[step][step], off, 8)
+		}
+		b.Barrier()
+		// Update the trailing submatrix: each block owner reads the
+		// diagonal and perimeter blocks and updates its own block.
+		for i := step; i < k; i++ {
+			for j := step; j < k; j++ {
+				if i == step && j == step {
+					continue
+				}
+				t := (i + j) % p.Threads
+				for n := 0; n < touches; n++ {
+					off := uint64((n * 128) % (blockBytes - 8))
+					b.Read(t, blocks[step][step], off, 8)
+					b.Read(t, blocks[i][step], off, 8)
+					computeRead(b, t, blocks[step][j], off, 8, computePer)
+					b.Write(t, blocks[i][j], off, 8)
+				}
+			}
+		}
+		b.Barrier()
+	}
+	// No teardown frees (see Barnes): the OS reclaims at exit.
+	return b.Build()
+}

@@ -1,0 +1,86 @@
+package apps
+
+import "butterfly/internal/machine"
+
+// Ocean models the Splash-2 ocean current simulation (258×258 grid): rows
+// are block-distributed, and every short relaxation iteration each thread
+// (1) reallocates its boundary-exchange buffer and publishes its edge rows
+// into it, then after a barrier (2) reads both neighbors' boundary buffers
+// and relaxes its own rows. The iteration is short and *every* thread
+// reallocates *every* iteration, so allocation metadata changes constantly
+// while neighbors read it — safely, thanks to the barriers — which is
+// exactly the pattern that blows up butterfly false positives as the epoch
+// grows (the paper's Figure 13 outlier, which in turn degrades its Figure 12
+// performance at 64K epochs).
+func Ocean(p Params) (*machine.Program, error) {
+	const (
+		rowsBytes     = 16384
+		boundaryBytes = 512
+		computePer    = 2
+	)
+	b := machine.NewBuilder("ocean", p.Threads)
+	rows := make([]int, p.Threads)
+	bounds := make([]int, p.Threads)
+	for t := range rows {
+		rows[t] = b.NewBuffer()
+		b.Alloc(t, rows[t], rowsBytes)
+		initBuffer(b, t, rows[t], rowsBytes)
+		bounds[t] = b.NewBuffer()
+	}
+	b.Barrier()
+
+	iterations := 40
+	perIter := p.targetOps() / iterations
+	stencil := perIter * 3 / (4 * (3 + computePer))
+	if stencil < 8 {
+		stencil = 8
+	}
+	boundaryWrites := maxInt(perIter/16, 4)
+
+	for it := 0; it < iterations; it++ {
+		// Publish boundary rows; every second iteration the exchange buffer
+		// is reallocated (the multigrid level changes resolution).
+		for t := 0; t < p.Threads; t++ {
+			if it%2 == 0 {
+				if it > 0 {
+					b.Free(t, bounds[t])
+				}
+				b.Alloc(t, bounds[t], boundaryBytes)
+			}
+			for i := 0; i < boundaryWrites; i++ {
+				off := uint64((i * 16) % (boundaryBytes - 8))
+				b.Read(t, rows[t], uint64((i*8)%(rowsBytes-8)), 8)
+				b.Write(t, bounds[t], off, 8)
+			}
+		}
+		b.Barrier()
+		// Relax: update own rows, reading the neighbor boundaries in the
+		// middle of the phase — maximally far from both this iteration's
+		// realloc and the next one, so whether the reads land within the
+		// potentially-concurrent window depends directly on the epoch size.
+		for t := 0; t < p.Threads; t++ {
+			r := rng(p.Seed, "ocean", t*1000+it)
+			up := bounds[(t+p.Threads-1)%p.Threads]
+			down := bounds[(t+1)%p.Threads]
+			early := stencil / 8
+			for i := 0; i < stencil; i++ {
+				// One eager read right after the barrier (always adjacent to
+				// the realloc) plus a burst at ~1/8 of the phase, whose
+				// distance from the churn is between the two epoch sizes.
+				if i == 0 || (i >= early && i < early+4) {
+					nb := up
+					if i%2 == 1 {
+						nb = down
+					}
+					b.Read(t, nb, uint64(r.Intn(boundaryBytes-8)), 8)
+				}
+				off := uint64(r.Intn(rowsBytes - 8))
+				computeRead(b, t, rows[t], off, 8, computePer)
+				b.Write(t, rows[t], off, 8)
+			}
+		}
+		b.Barrier()
+	}
+	// No teardown frees (see Barnes): the OS reclaims at exit.
+	return b.Build()
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/lifeguard/taintcheck"
+	"butterfly/internal/trace"
+)
+
+// Ablations beyond the paper's figures: they quantify the design choices
+// DESIGN.md calls out — the two-phase TaintCheck resolution (§6.2,
+// "Reducing False Positives"), the SC vs relaxed termination conditions,
+// and the idempotent filter's contribution.
+
+// TaintAblationRow compares TaintCheck configurations on one random
+// workload.
+type TaintAblationRow struct {
+	Threads, Events int
+	// Flags raised by each configuration on identical traces.
+	TwoPhaseSC, SinglePhaseSC, Relaxed int
+	// TrueFlags is the number of distinct instructions flagged by the
+	// sequential oracle across sampled valid orderings (a lower bound on
+	// the reachable errors).
+	TrueFlags int
+	// FalseNegatives counts oracle-found errors the butterfly missed
+	// (must be zero for every configuration).
+	FalseNegatives int
+}
+
+// TaintPhaseAblation measures how much the two-phase resolution and the SC
+// termination condition reduce TaintCheck flags relative to their
+// conservative alternatives, and re-verifies zero false negatives against
+// sampled valid orderings.
+func TaintPhaseAblation(runs, threads, perThread, h int, seed int64) ([]TaintAblationRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []TaintAblationRow
+	for run := 0; run < runs; run++ {
+		tr := randomTaintTrace(rng, threads, perThread)
+		g, err := epoch.ChunkByCount(tr, h)
+		if err != nil {
+			return nil, err
+		}
+		configs := []*taintcheck.Butterfly{
+			{SC: true, TwoPhase: true},
+			{SC: true, TwoPhase: false},
+			{SC: false, TwoPhase: true},
+		}
+		var flags [3]map[trace.Ref]bool
+		for i, cfgLG := range configs {
+			res := (&core.Driver{LG: cfgLG}).Run(g)
+			flags[i] = map[trace.Ref]bool{}
+			for _, r := range res.Reports {
+				flags[i][r.Ref] = true
+			}
+		}
+		// Sample valid orderings; union of oracle flags = reachable errors.
+		truth := map[trace.Ref]bool{}
+		oracle := taintcheck.NewOracle()
+		for s := 0; s < 50; s++ {
+			items := interleave.Random(g, rng)
+			for _, rep := range lifeguard.RunOracle(oracle, items) {
+				truth[rep.Ref] = true
+			}
+		}
+		fn := 0
+		for ref := range truth {
+			for i := range flags {
+				if !flags[i][ref] {
+					fn++
+				}
+			}
+		}
+		rows = append(rows, TaintAblationRow{
+			Threads: threads, Events: tr.NumEvents(),
+			TwoPhaseSC:     len(flags[0]),
+			SinglePhaseSC:  len(flags[1]),
+			Relaxed:        len(flags[2]),
+			TrueFlags:      len(truth),
+			FalseNegatives: fn,
+		})
+	}
+	return rows, nil
+}
+
+// randomTaintTrace builds a taint workload: sources, propagation chains and
+// critical uses over a small shared location space.
+func randomTaintTrace(rng *rand.Rand, nthreads, perThread int) *trace.Trace {
+	b := trace.NewBuilder(nthreads)
+	loc := func() uint64 { return uint64(0x100 + rng.Intn(24)) }
+	for t := 0; t < nthreads; t++ {
+		b.T(trace.ThreadID(t))
+		for i := 0; i < perThread; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				b.Taint(loc(), 1)
+			case 1, 2:
+				b.Untaint(loc())
+			case 3, 4, 5:
+				b.Unop(loc(), loc())
+			case 6:
+				b.Binop(loc(), loc(), loc())
+			default:
+				b.Jump(loc())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RenderTaintAblation prints the ablation rows.
+func RenderTaintAblation(rows []TaintAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: TaintCheck resolution strategies (flag counts; lower = more precise)\n")
+	fmt.Fprintf(&b, "%-8s %8s %12s %14s %10s %10s %6s\n",
+		"threads", "events", "2-phase/SC", "1-phase/SC", "relaxed", "reachable", "FNs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %8d %12d %14d %10d %10d %6d\n",
+			r.Threads, r.Events, r.TwoPhaseSC, r.SinglePhaseSC, r.Relaxed, r.TrueFlags, r.FalseNegatives)
+	}
+	return b.String()
+}
+
+// FilterRow reports the idempotent filter's effectiveness per benchmark.
+type FilterRow struct {
+	App        string
+	Threads    int
+	FilterRate float64
+}
+
+// FilterAblation extracts filter effectiveness from a sweep.
+func FilterAblation(ms []*RunMeasurement) []FilterRow {
+	rows := make([]FilterRow, 0, len(ms))
+	for _, m := range ms {
+		rows = append(rows, FilterRow{App: m.App, Threads: m.Threads, FilterRate: m.FilterRate})
+	}
+	return rows
+}
+
+// RenderFilterAblation prints filter effectiveness.
+func RenderFilterAblation(rows []FilterRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: idempotent filter effectiveness (fraction of checks avoided)\n")
+	fmt.Fprintf(&b, "%-14s %8s %12s\n", "benchmark", "threads", "filter rate")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %12.3f\n", r.App, r.Threads, r.FilterRate)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/machine"
+)
+
+// buggyProgram builds a producer/consumer workload with an injected
+// cross-thread use-after-free: the producer frees the shared buffer while
+// consumers still read it.
+func buggyProgram(threads int) (*machine.Program, error) {
+	b := machine.NewBuilder("injected-uaf", threads)
+	shared := b.NewBuffer()
+	b.Alloc(0, shared, 4096)
+	for off := uint64(0); off+8 <= 4096; off += 8 {
+		b.Write(0, shared, off, 8)
+	}
+	b.Barrier()
+	b.Nop(0, 500)
+	b.Free(0, shared) // BUG
+	for t := 1; t < threads; t++ {
+		for i := 0; i < 300; i++ {
+			b.Read(t, shared, uint64(i*8)%4096, 8)
+			b.Nop(t, 2)
+		}
+	}
+	return b.Build()
+}
+
+// TestInjectedBugDetectedEndToEnd drives the whole pipeline — machine,
+// chunking, butterfly AddrCheck, ground-truth scoring — on a workload with
+// a real use-after-free, asserting true positives exist and false
+// negatives do not, across epoch sizes.
+func TestInjectedBugDetectedEndToEnd(t *testing.T) {
+	for _, h := range []int{128, 1024} {
+		p, err := buggyProgram(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := machine.Table1Config(4)
+		cfg.Seed = 17
+		cfg.HeartbeatH = h
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := epoch.ChunkByHeartbeat(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: true}).Run(g)
+		items, err := interleave.FromGlobal(g, res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := lifeguard.RunOracle(addrcheck.NewOracle(cfg.HeapBase), items)
+		cmp := lifeguard.Compare(bres.Reports, truth, res.Trace.MemAccesses())
+		if len(truth) == 0 {
+			t.Fatalf("h=%d: injected bug did not manifest in ground truth", h)
+		}
+		if len(cmp.FalseNegatives) != 0 {
+			t.Fatalf("h=%d: FALSE NEGATIVES on a real bug: %v", h, cmp.FalseNegatives)
+		}
+		if len(cmp.TruePositives) == 0 {
+			t.Fatalf("h=%d: no true positives despite %d real errors", h, len(truth))
+		}
+		t.Logf("h=%d: %d real errors, %d TPs, %d FPs", h, len(truth),
+			len(cmp.TruePositives), len(cmp.FalsePositives))
+	}
+}
+
+// TestAblationZeroFN re-checks the ablation harness's false-negative
+// accounting on a quick run.
+func TestAblationZeroFN(t *testing.T) {
+	rows, err := TaintPhaseAblation(2, 3, 12, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FalseNegatives != 0 {
+			t.Fatalf("ablation found false negatives: %+v", r)
+		}
+		if r.SinglePhaseSC < r.TwoPhaseSC {
+			t.Fatalf("single-phase flagged less than two-phase: %+v", r)
+		}
+	}
+}

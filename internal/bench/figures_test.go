@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeMeasurements builds a deterministic Experiments without simulation,
+// for testing figure derivation and rendering.
+func fakeMeasurements() *Experiments {
+	mk := func(app string, threads, h int, ts, bf, par, seq uint64, fps int) *RunMeasurement {
+		return &RunMeasurement{
+			App: app, Threads: threads, H: h,
+			SeqCycles: seq, ParallelCycles: par,
+			TimeslicedCycles: ts, ButterflyCycles: bf,
+			FalsePositives: fps, MemAccesses: 1000,
+			FPRate: float64(fps) / 1000,
+		}
+	}
+	return &Experiments{
+		Small: []*RunMeasurement{
+			mk("fft", 2, 64, 400, 500, 80, 100, 0),
+			mk("fft", 4, 64, 420, 300, 50, 100, 1),
+		},
+		Large: []*RunMeasurement{
+			mk("fft", 2, 512, 400, 450, 80, 100, 5),
+			mk("fft", 4, 512, 420, 260, 50, 100, 9),
+		},
+	}
+}
+
+func TestFig11Derivation(t *testing.T) {
+	e := fakeMeasurements()
+	rows := e.Fig11()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Timesliced != 4.0 || rows[0].Butterfly != 4.5 || rows[0].NoMonitor != 0.8 {
+		t.Fatalf("normalization wrong: %+v", rows[0])
+	}
+	out := RenderFig11(rows)
+	if !strings.Contains(out, "fft") || !strings.Contains(out, "4.50") {
+		t.Fatalf("render missing data:\n%s", out)
+	}
+}
+
+func TestFig12Derivation(t *testing.T) {
+	e := fakeMeasurements()
+	rows := e.Fig12()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].SmallH != 5.0 || rows[0].LargeH != 4.5 {
+		t.Fatalf("epoch comparison wrong: %+v", rows[0])
+	}
+	out := RenderFig12(rows)
+	if !strings.Contains(out, "0.90") { // 4.5/5.0
+		t.Fatalf("ratio missing:\n%s", out)
+	}
+}
+
+func TestFig13Derivation(t *testing.T) {
+	e := fakeMeasurements()
+	rows := e.Fig13()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].RatePercent != 0 || rows[3].RatePercent < 0.89 || rows[3].RatePercent > 0.91 {
+		t.Fatalf("rates wrong: %+v %+v", rows[0], rows[3])
+	}
+	out := RenderFig13(rows)
+	if !strings.Contains(out, "0.900000") {
+		t.Fatalf("rate missing:\n%s", out)
+	}
+}
+
+func TestNormalizedZeroBaseline(t *testing.T) {
+	m := &RunMeasurement{}
+	if m.Normalized(100) != 0 {
+		t.Fatal("zero baseline should normalize to 0, not panic")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	o := DefaultOptions()
+	o.Apps = []string{"nonexistent"}
+	if _, err := o.apps(); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	o.Apps = nil
+	list, err := o.apps()
+	if err != nil || len(list) != 6 {
+		t.Fatalf("default apps: %v, %v", len(list), err)
+	}
+	if o.scaled(64) < 64 {
+		t.Fatal("scaled floor broken")
+	}
+}
+
+func TestFilterAblationRows(t *testing.T) {
+	e := fakeMeasurements()
+	rows := FilterAblation(e.Large)
+	if len(rows) != 2 || rows[0].App != "fft" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if RenderFilterAblation(rows) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	o := DefaultOptions()
+	out := Table1(o)
+	for _, want := range []string{"barnes", "blackscholes", "64B", "L1-D 64KB", "Epochs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}

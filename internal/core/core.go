@@ -1,0 +1,257 @@
+// Package core implements the butterfly analysis framework of
+// "Butterfly Analysis: Adapting Dataflow Analysis to Dynamic Parallel
+// Monitoring" (ASPLOS 2010).
+//
+// The framework analyzes a Grid of uncertainty epochs over a sliding window
+// of three epochs. For a body block (l, t) the head is (l−1, t), the tail is
+// (l+1, t), and the wings are blocks (l−1..l+1, t') for t' ≠ t. Instructions
+// in the wings are potentially concurrent with the body; instructions two or
+// more epochs apart are strictly ordered. State summarizing the strictly
+// ordered past is the Strongly Ordered State (SOS); each block additionally
+// sees a Local SOS (LSOS) that folds in its own head.
+//
+// Lifeguards run as two-pass algorithms (§4.3):
+//
+//	pass 1: per-block local analysis against the LSOS; produces a summary
+//	        (the block's GEN/KILL plus its SIDE-OUT facts).
+//	meet:   each body combines the summaries of its wings (SIDE-IN).
+//	pass 2: per-block re-analysis with wing state; lifeguard checks fire.
+//	update: the epoch's net effect (GENₗ/KILLₗ) advances the SOS.
+//
+// The Driver schedules these steps, owns the SOS (single writer), and — in
+// parallel mode — runs each pass with one goroutine per thread separated by
+// barriers, mirroring the paper's implementation.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"butterfly/internal/epoch"
+	"butterfly/internal/trace"
+)
+
+// State is lifeguard-defined strongly ordered state (e.g. a fact set for
+// reaching definitions, an interval set for AddrCheck). Values handed to the
+// driver are owned by it; lifeguards must not retain and mutate them.
+type State any
+
+// Summary is the lifeguard-defined first-pass block summary: whatever the
+// lifeguard needs to expose a block to the wings of other butterflies
+// (SIDE-OUT sets) plus its local GEN/KILL for epoch summarization.
+type Summary any
+
+// Report is one flagged condition (an error or a potential error).
+type Report struct {
+	// Ref names the instruction that triggered the report.
+	Ref trace.Ref
+	// Ev is the triggering event.
+	Ev trace.Event
+	// Code is a stable, machine-readable condition name
+	// (e.g. "addrcheck.unallocated-access").
+	Code string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s at %v [%v]: %s", r.Code, r.Ref, r.Ev, r.Detail)
+}
+
+// PassContext carries the strongly ordered inputs available to a pass over
+// block (l, t).
+type PassContext struct {
+	// SOS is SOSₗ — state from instructions at least two epochs back.
+	SOS State
+	// Head is the summary of block (l−1, t), nil when l == 0.
+	Head Summary
+	// Epoch1Back holds the summaries of all blocks of epoch l−1 (nil when
+	// l == 0); Epoch1Back[t'] is block (l−1, t').
+	Epoch1Back []Summary
+	// Epoch2Back holds the summaries of all blocks of epoch l−2 (nil when
+	// l < 2). The LSOS equations need them: the head can interleave with
+	// epoch l−2 of other threads.
+	Epoch2Back []Summary
+	// Own is the block's own first-pass summary. It is set only during the
+	// second pass, where lifeguards such as TaintCheck record per-block
+	// conclusions (LASTCHECK) that the later SOS update consumes. A block's
+	// Own summary is never read concurrently by other threads' passes.
+	Own Summary
+}
+
+// Lifeguard is implemented by a butterfly analysis. The driver guarantees:
+// FirstPass runs exactly once per block, in epoch order, after the SOS for
+// the block's epoch is final; SecondPass runs after FirstPass has completed
+// for every block of epochs l−1, l, l+1; UpdateSOS runs on a single
+// goroutine. Within one epoch, FirstPass (and SecondPass) calls for
+// different threads may run concurrently, so they must not share mutable
+// state beyond the lifeguard's read-only configuration.
+type Lifeguard interface {
+	// Name identifies the lifeguard in reports and tooling.
+	Name() string
+
+	// BottomState returns the initial SOS (SOS₀ = SOS₁ = ⊥).
+	BottomState() State
+
+	// FirstPass analyzes block b locally and returns its summary.
+	FirstPass(b *epoch.Block, ctx PassContext) (Summary, []Report)
+
+	// SecondPass re-analyzes block b with the wing summaries and performs
+	// the lifeguard's checks. wings holds the summaries of blocks
+	// (l−1..l+1, t' ≠ t), clipped at the grid edges.
+	SecondPass(b *epoch.Block, ctx PassContext, wings []Summary) []Report
+
+	// UpdateSOS computes SOS_{l+2} = GENₗ ∪ (SOS_{l+1} − KILLₗ), where the
+	// epoch summary GENₗ/KILLₗ spans the block summaries of epochs l−1
+	// (prevEpoch, nil when l == 0) and l (curEpoch), per §5.1.1/§5.2.
+	UpdateSOS(prev State, prevEpoch, curEpoch []Summary) State
+}
+
+// Driver schedules a lifeguard over a grid.
+type Driver struct {
+	// LG is the lifeguard to run.
+	LG Lifeguard
+	// Parallel runs each pass with one goroutine per thread, separated by
+	// barriers (the paper's lifeguard threads). When false everything runs
+	// on the calling goroutine, which is deterministic and simpler to debug.
+	Parallel bool
+	// KeepHistory retains every epoch's summaries and SOS in the Result for
+	// inspection by tests and the experiment harness. Long runs should leave
+	// it false: the driver then retains only the sliding window.
+	KeepHistory bool
+}
+
+// Result is the outcome of a Driver.Run.
+type Result struct {
+	// Reports holds all reports in (epoch, pass, thread, instruction) order.
+	Reports []Report
+	// Epochs and Events count the analyzed work.
+	Epochs, Events int
+	// FinalSOS is the SOS after the last epoch's update.
+	FinalSOS State
+	// Summaries[l][t] and SOSHistory[l] are retained when KeepHistory is
+	// set; SOSHistory[l] is SOSₗ.
+	Summaries  [][]Summary
+	SOSHistory []State
+}
+
+// Run executes the two-pass butterfly algorithm over the whole grid.
+func (d *Driver) Run(g *epoch.Grid) *Result {
+	L := g.NumEpochs()
+	T := g.NumThreads
+	res := &Result{Epochs: L, Events: g.TotalEvents()}
+	if L == 0 || T == 0 {
+		res.FinalSOS = d.LG.BottomState()
+		return res
+	}
+
+	// Sliding window of summaries: sum[l] for the last few epochs.
+	sums := make([][]Summary, L)
+	sos := make([]State, L+2)
+	sos[0] = d.LG.BottomState()
+	if L+2 > 1 {
+		sos[1] = d.LG.BottomState()
+	}
+
+	sumAt := func(l int) []Summary {
+		if l < 0 || l >= L {
+			return nil
+		}
+		return sums[l]
+	}
+
+	firstPass := func(l int) {
+		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2)}
+		out := make([]Summary, T)
+		reports := make([][]Report, T)
+		run := func(t int) {
+			c := ctx
+			if c.Epoch1Back != nil {
+				c.Head = c.Epoch1Back[t]
+			}
+			out[t], reports[t] = d.LG.FirstPass(g.Block(l, trace.ThreadID(t)), c)
+		}
+		d.forEachThread(T, run)
+		sums[l] = out
+		for t := 0; t < T; t++ {
+			res.Reports = append(res.Reports, reports[t]...)
+		}
+	}
+
+	secondPass := func(l int) {
+		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2)}
+		reports := make([][]Report, T)
+		run := func(t int) {
+			c := ctx
+			if c.Epoch1Back != nil {
+				c.Head = c.Epoch1Back[t]
+			}
+			c.Own = sums[l][t]
+			var wings []Summary
+			for le := l - 1; le <= l+1; le++ {
+				row := sumAt(le)
+				if row == nil {
+					continue
+				}
+				for tt, s := range row {
+					if tt != t {
+						wings = append(wings, s)
+					}
+				}
+			}
+			reports[t] = d.LG.SecondPass(g.Block(l, trace.ThreadID(t)), c, wings)
+		}
+		d.forEachThread(T, run)
+		for t := 0; t < T; t++ {
+			res.Reports = append(res.Reports, reports[t]...)
+		}
+	}
+
+	for l := 0; l < L; l++ {
+		if l >= 2 {
+			// SOSₗ = GEN_{l−2} ∪ (SOS_{l−1} − KILL_{l−2}).
+			sos[l] = d.LG.UpdateSOS(sos[l-1], sumAt(l-3), sumAt(l-2))
+		}
+		firstPass(l)
+		if l >= 1 {
+			secondPass(l - 1)
+		}
+		if !d.KeepHistory && l >= 4 {
+			// Epoch l−4 can no longer be referenced by any pass or update.
+			sums[l-4] = nil
+		}
+	}
+	secondPass(L - 1)
+	// Final SOS updates for the epochs past the end.
+	for l := L; l < L+2; l++ {
+		if l >= 2 {
+			sos[l] = d.LG.UpdateSOS(sos[l-1], sumAt(l-3), sumAt(l-2))
+		}
+	}
+	res.FinalSOS = sos[L+1]
+	if d.KeepHistory {
+		res.Summaries = sums
+		res.SOSHistory = sos
+	}
+	return res
+}
+
+// forEachThread runs fn(t) for every thread, in parallel when configured.
+// This is the per-pass barrier: it returns only when all threads finish.
+func (d *Driver) forEachThread(T int, fn func(t int)) {
+	if !d.Parallel || T == 1 {
+		for t := 0; t < T; t++ {
+			fn(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(T)
+	for t := 0; t < T; t++ {
+		go func(t int) {
+			defer wg.Done()
+			fn(t)
+		}(t)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// subGrid returns the grid restricted to epochs [0, upTo].
+func subGrid(g *epoch.Grid, upTo int) *epoch.Grid {
+	return &epoch.Grid{NumThreads: g.NumThreads, Blocks: g.Blocks[:upTo+1]}
+}
+
+// randomDefTrace builds a small trace of writes/reads over a tiny address
+// space, chunked into epochs of size h.
+func randomDefTrace(rng *rand.Rand, nthreads, perThread, h int) *epoch.Grid {
+	b := trace.NewBuilder(nthreads)
+	for t := 0; t < nthreads; t++ {
+		b.T(trace.ThreadID(t))
+		for i := 0; i < perThread; i++ {
+			addr := uint64(rng.Intn(3))
+			if rng.Intn(4) == 0 {
+				b.Read(addr, 1)
+			} else {
+				b.Write(addr, 1)
+			}
+		}
+	}
+	g, err := epoch.ChunkByCount(b.Build(), h)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// runRD runs butterfly reaching definitions with history retained.
+func runRD(g *epoch.Grid) (*ReachingDefs, *Result) {
+	rd := NewReachingDefs(g)
+	rd.Record = true
+	d := &Driver{LG: rd, KeepHistory: true}
+	return rd, d.Run(g)
+}
+
+// TestLemma51ReachingDefs checks both halves of Lemma 5.1 against exhaustive
+// enumeration of valid orderings:
+//
+//	d ∈ GENₗ  ⟹ some valid ordering O_l ends with d live.
+//	d ∈ KILLₗ ⟹ no valid ordering O_l ends with d live.
+func TestLemma51ReachingDefs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 40; iter++ {
+		g := randomDefTrace(rng, 2, 4, 2) // 2 threads × 2 epochs × 2 events
+		_, res := runRD(g)
+		rd := NewReachingDefs(g)
+		for l := 0; l < g.NumEpochs(); l++ {
+			var prev []Summary
+			if l > 0 {
+				prev = res.Summaries[l-1]
+			}
+			genL, killL := rd.EpochGenKill(prev, res.Summaries[l])
+
+			// Collect GEN(O) for every valid ordering of epochs 0..l.
+			reached := map[uint64]bool{}       // d live in some ordering
+			alwaysDead := sets.NewSet()        // complement built below
+			for d := range genL.Union(killL) { // candidates to track
+				alwaysDead.Add(d)
+			}
+			interleave.Enumerate(subGrid(g, l), func(o []interleave.Item) bool {
+				live := liveDefs(o)
+				for d := range live {
+					reached[d] = true
+					alwaysDead.Remove(d)
+				}
+				return true
+			})
+			for d := range genL {
+				if !reached[d] {
+					t.Fatalf("iter %d epoch %d: %v ∈ GEN_l but live in no valid ordering",
+						iter, l, trace.UnpackRef(d))
+				}
+			}
+			for d := range killL {
+				if reached[d] {
+					t.Fatalf("iter %d epoch %d: %v ∈ KILL_l but live in some valid ordering",
+						iter, l, trace.UnpackRef(d))
+				}
+			}
+		}
+	}
+}
+
+// liveDefs computes GEN(O): the last writer of each address in the ordering.
+func liveDefs(o []interleave.Item) sets.Set {
+	last := map[uint64]uint64{}
+	for _, it := range o {
+		switch it.Ev.Kind {
+		case trace.Write, trace.AssignUn, trace.AssignBin, trace.Untaint:
+			last[it.Ev.Addr] = it.Ref.Pack()
+		}
+	}
+	out := sets.NewSet()
+	for _, id := range last {
+		out.Add(id)
+	}
+	return out
+}
+
+// TestLemma52SOSInvariant checks the SOS invariant (Lemma 5.2) exactly:
+// d ∈ SOSₗ ⟺ ∃ valid ordering O_{l−2} with d live at its end.
+func TestLemma52SOSInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 30; iter++ {
+		g := randomDefTrace(rng, 2, 6, 2) // 3 epochs per thread
+		_, res := runRD(g)
+		for l := 2; l < g.NumEpochs()+2; l++ {
+			sos := res.SOSHistory[l].(sets.Set)
+			upTo := l - 2
+			if upTo >= g.NumEpochs() {
+				upTo = g.NumEpochs() - 1
+			}
+			reachable := sets.NewSet()
+			interleave.Enumerate(subGrid(g, upTo), func(o []interleave.Item) bool {
+				reachable.AddAll(liveDefs(o))
+				return true
+			})
+			if !sos.Equal(reachable) {
+				t.Fatalf("iter %d: SOS_%d = %v, want %v", iter, l, sos, reachable)
+			}
+		}
+	}
+}
+
+// TestReachingDefsINSound checks that IN_{l,t,i} over-approximates the
+// definitions reaching the instruction along every possible path: for any
+// prefix of a valid ordering ending just before (l,t,i), the live defs are
+// contained in IN_{l,t,i}. (The butterfly may add more — conservative — but
+// may never miss one.)
+func TestReachingDefsINSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 25; iter++ {
+		g := randomDefTrace(rng, 2, 4, 2)
+		rd, _ := runRD(g)
+		L := g.NumEpochs()
+		for l := 0; l < L; l++ {
+			for tid := 0; tid < g.NumThreads; tid++ {
+				rec := rd.Recording(l, trace.ThreadID(tid))
+				if rec == nil {
+					t.Fatalf("no recording for block (%d,%d)", l, tid)
+				}
+				blk := g.Block(l, trace.ThreadID(tid))
+				for i := range blk.Events {
+					target := blk.Ref(i)
+					in := rec.IN[i]
+					upTo := l + 1
+					if upTo >= L {
+						upTo = L - 1
+					}
+					interleave.Enumerate(subGrid(g, upTo), func(o []interleave.Item) bool {
+						for pos, it := range o {
+							if it.Ref == target {
+								live := liveDefs(o[:pos])
+								if !live.Subset(in) {
+									t.Errorf("iter %d: defs %v reach %v but IN = %v",
+										iter, live.Difference(in), target, in)
+									return false
+								}
+								break
+							}
+						}
+						return true
+					})
+					if t.Failed() {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomExprTrace builds traces with binop/unop expressions over a tiny
+// variable space, so expression gen/kill interactions are dense.
+func randomExprTrace(rng *rand.Rand, nthreads, perThread, h int) *epoch.Grid {
+	b := trace.NewBuilder(nthreads)
+	for t := 0; t < nthreads; t++ {
+		b.T(trace.ThreadID(t))
+		for i := 0; i < perThread; i++ {
+			x := uint64(rng.Intn(3))
+			y := uint64(rng.Intn(3))
+			z := uint64(rng.Intn(3))
+			switch rng.Intn(3) {
+			case 0:
+				b.Binop(x, y, z)
+			case 1:
+				b.Unop(x, y)
+			default:
+				b.Write(x, 1)
+			}
+		}
+	}
+	g, err := epoch.ChunkByCount(b.Build(), h)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func runRE(g *epoch.Grid) (*ReachingExprs, *Result) {
+	re := NewReachingExprs(g)
+	re.Record = true
+	d := &Driver{LG: re, KeepHistory: true}
+	return re, d.Run(g)
+}
+
+// TestReachingExprsEpochSound checks the §5.2 duals of Lemma 5.1:
+//
+//	e ∈ GENₗ  ⟹ e is available at the end of every valid ordering O_l.
+//	e ∈ KILLₗ ⟹ e is unavailable at the end of some valid ordering O_l.
+func TestReachingExprsEpochSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 40; iter++ {
+		g := randomExprTrace(rng, 2, 4, 2)
+		re, res := runRE(g)
+		for l := 0; l < g.NumEpochs(); l++ {
+			var prev []Summary
+			if l > 0 {
+				prev = res.Summaries[l-1]
+			}
+			genL, killL := re.EpochGenKill(prev, res.Summaries[l])
+
+			availAll := (sets.Set)(nil) // ∩ over orderings
+			availMissing := sets.NewSet()
+			interleave.Enumerate(subGrid(g, l), func(o []interleave.Item) bool {
+				avail := re.U.SeqAvailExprs(interleave.Events(o))
+				if availAll == nil {
+					availAll = avail.Clone()
+				} else {
+					for e := range availAll {
+						if !avail.Has(e) {
+							availAll.Remove(e)
+						}
+					}
+				}
+				for e := range killL {
+					if !avail.Has(e) {
+						availMissing.Add(e)
+					}
+				}
+				return true
+			})
+			for e := range genL {
+				if !availAll.Has(e) {
+					t.Fatalf("iter %d epoch %d: expr %d ∈ GEN_l but unavailable in some ordering", iter, l, e)
+				}
+			}
+			for e := range killL {
+				if !availMissing.Has(e) {
+					t.Fatalf("iter %d epoch %d: expr %d ∈ KILL_l but available in every ordering", iter, l, e)
+				}
+			}
+		}
+	}
+}
+
+// TestReachingExprsSOSSound: e ∈ SOSₗ ⟹ e available at the end of every
+// valid ordering of epochs 0..l−2 (conservative under-approximation).
+func TestReachingExprsSOSSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 30; iter++ {
+		g := randomExprTrace(rng, 2, 6, 2)
+		re, res := runRE(g)
+		for l := 2; l < g.NumEpochs()+2; l++ {
+			sos := res.SOSHistory[l].(sets.Set)
+			if sos.Empty() {
+				continue
+			}
+			upTo := l - 2
+			if upTo >= g.NumEpochs() {
+				upTo = g.NumEpochs() - 1
+			}
+			interleave.Enumerate(subGrid(g, upTo), func(o []interleave.Item) bool {
+				avail := re.U.SeqAvailExprs(interleave.Events(o))
+				for e := range sos {
+					if !avail.Has(e) {
+						t.Errorf("iter %d: expr %d ∈ SOS_%d but dead after some ordering", iter, e, l)
+						return false
+					}
+				}
+				return true
+			})
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}
+
+// TestReachingExprsINSound: e ∈ IN_{l,t,i} ⟹ e available along every path
+// (prefix of a valid ordering) to (l,t,i).
+func TestReachingExprsINSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 25; iter++ {
+		g := randomExprTrace(rng, 2, 4, 2)
+		re, _ := runRE(g)
+		L := g.NumEpochs()
+		for l := 0; l < L; l++ {
+			for tid := 0; tid < g.NumThreads; tid++ {
+				rec := re.Recording(l, trace.ThreadID(tid))
+				blk := g.Block(l, trace.ThreadID(tid))
+				for i := range blk.Events {
+					target := blk.Ref(i)
+					in := rec.IN[i]
+					if in.Empty() {
+						continue
+					}
+					upTo := l + 1
+					if upTo >= L {
+						upTo = L - 1
+					}
+					interleave.Enumerate(subGrid(g, upTo), func(o []interleave.Item) bool {
+						for pos, it := range o {
+							if it.Ref == target {
+								avail := re.U.SeqAvailExprs(interleave.Events(o[:pos]))
+								if !in.Subset(avail) {
+									t.Errorf("iter %d: IN_%v claims %v but path provides only %v",
+										iter, target, in, avail)
+									return false
+								}
+								break
+							}
+						}
+						return true
+					})
+					if t.Failed() {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDriverParallelMatchesSequential runs a checking lifeguard both ways
+// and requires identical report multisets.
+func TestDriverParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 20; iter++ {
+		g := randomDefTrace(rng, 4, 12, 3)
+		mk := func() *ReachingDefs {
+			rd := NewReachingDefs(g)
+			rd.Check = func(b *epoch.Block, i int, in sets.Set) []Report {
+				// Report reads of addresses with more than one reaching def
+				// (an ambiguous read) — arbitrary but deterministic.
+				e := b.Events[i]
+				if e.Kind != trace.Read {
+					return nil
+				}
+				n := 0
+				for d := range in {
+					if rd.U.LocOf(d) == e.Addr {
+						n++
+					}
+				}
+				if n > 1 {
+					return []Report{{Ref: b.Ref(i), Ev: e, Code: "ambiguous-read"}}
+				}
+				return nil
+			}
+			return rd
+		}
+		seq := (&Driver{LG: mk()}).Run(g)
+		par := (&Driver{LG: mk(), Parallel: true}).Run(g)
+		if len(seq.Reports) != len(par.Reports) {
+			t.Fatalf("iter %d: sequential %d reports, parallel %d", iter, len(seq.Reports), len(par.Reports))
+		}
+		count := map[trace.Ref]int{}
+		for _, r := range seq.Reports {
+			count[r.Ref]++
+		}
+		for _, r := range par.Reports {
+			count[r.Ref]--
+		}
+		for ref, c := range count {
+			if c != 0 {
+				t.Fatalf("iter %d: report multiset differs at %v", iter, ref)
+			}
+		}
+		if !seq.FinalSOS.(sets.Set).Equal(par.FinalSOS.(sets.Set)) {
+			t.Fatalf("iter %d: final SOS differs", iter)
+		}
+	}
+}
+
+func TestDriverEmptyGrid(t *testing.T) {
+	g, err := epoch.ChunkByCount(trace.NewBuilder(0).Build(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := &ReachingDefs{U: nil}
+	rd.U = NewReachingDefs(g).U
+	res := (&Driver{LG: rd}).Run(g)
+	if len(res.Reports) != 0 || res.Events != 0 {
+		t.Fatalf("empty grid produced %+v", res)
+	}
+	if res.FinalSOS == nil {
+		t.Fatal("FinalSOS should be bottom, not nil")
+	}
+}
+
+func TestDriverSingleEpoch(t *testing.T) {
+	tr := trace.NewBuilder(2).
+		T(0).Write(1, 1).
+		T(1).Write(2, 1).
+		Build()
+	g, err := epoch.ChunkByCount(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, res := runRD(g)
+	if res.Epochs != 1 {
+		t.Fatalf("epochs = %d", res.Epochs)
+	}
+	// Both writes must reach the final SOS (they are last writers).
+	final := res.FinalSOS.(sets.Set)
+	if final.Len() != 2 {
+		t.Fatalf("final SOS = %v", final)
+	}
+	// Each block must see the other's def through GEN-SIDE-IN.
+	for tid := 0; tid < 2; tid++ {
+		rec := rd.Recording(0, trace.ThreadID(tid))
+		other := trace.Ref{Epoch: 0, Thread: trace.ThreadID(1 - tid), Index: 0}
+		if !rec.IN[0].Has(other.Pack()) {
+			t.Fatalf("block (0,%d) does not see wing def %v: IN=%v", tid, other, rec.IN[0])
+		}
+	}
+}
+
+// TestFigure2TaintScenario reproduces the structure of the paper's Figure 2
+// with reaching definitions: two threads, three shared locations; checks
+// that wing visibility is bidirectional within an epoch.
+func TestFigure2TaintScenario(t *testing.T) {
+	// Thread 1: (1) b := a    (2) c := buf
+	// Thread 2: (i) a := c
+	tr := trace.NewBuilder(2).
+		T(0).Unop(0xb, 0xa).Unop(0xc, 0xbf).
+		T(1).Unop(0xa, 0xc).
+		Build()
+	g, err := epoch.ChunkByCount(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := runRD(g)
+	rec1 := rd.Recording(0, 0)
+	rec2 := rd.Recording(0, 1)
+	defI := trace.Ref{Epoch: 0, Thread: 1, Index: 0}.Pack()
+	def1 := trace.Ref{Epoch: 0, Thread: 0, Index: 0}.Pack()
+	def2 := trace.Ref{Epoch: 0, Thread: 0, Index: 1}.Pack()
+	// Thread 1's instructions see (i); thread 2's see (1) and (2).
+	if !rec1.IN[0].Has(defI) || !rec1.IN[1].Has(defI) {
+		t.Error("thread 1 does not see thread 2's def in its wings")
+	}
+	if !rec2.IN[0].Has(def1) || !rec2.IN[0].Has(def2) {
+		t.Error("thread 2 does not see thread 1's defs in its wings")
+	}
+}

@@ -1,0 +1,229 @@
+// Package epoch partitions per-thread traces into uncertainty epochs.
+//
+// Butterfly analysis relies on a heartbeat reliably delivered to all cores
+// (§4.1). Heartbeats are not simultaneous: the paper only assumes a maximum
+// skew, which the model absorbs by treating adjacent epochs as potentially
+// concurrent. This package turns raw traces into the epoch×thread block grid
+// the core framework analyzes. Heartbeat markers are consumed here; the
+// resulting blocks contain only executable events.
+package epoch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/trace"
+)
+
+// Block is the dynamic instruction sequence of one thread within one epoch —
+// the paper's block (l, t). Unlike a static basic block it is demarcated by
+// heartbeat reception, not control flow (Figure 5).
+type Block struct {
+	Epoch  int
+	Thread trace.ThreadID
+	// Start is the index of the first event of this block in the thread's
+	// original trace (heartbeat markers included in the numbering), so that
+	// reports can point back at trace positions.
+	Start  int
+	Events []trace.Event
+}
+
+// Ref returns the (l, t, i) name of the block's i-th event.
+func (b *Block) Ref(i int) trace.Ref {
+	return trace.Ref{Epoch: b.Epoch, Thread: b.Thread, Index: i}
+}
+
+// Len returns the number of events in the block.
+func (b *Block) Len() int { return len(b.Events) }
+
+// Grid is the epoch×thread matrix of blocks for a whole trace. Every epoch
+// has exactly one block per thread (possibly empty): the paper's model
+// requires block (l, t) to exist for all l, t so the wings are well defined.
+type Grid struct {
+	NumThreads int
+	// Blocks[l][t] is block (l, t).
+	Blocks [][]*Block
+}
+
+// NumEpochs returns the number of epochs in the grid.
+func (g *Grid) NumEpochs() int { return len(g.Blocks) }
+
+// Block returns block (l, t).
+func (g *Grid) Block(l int, t trace.ThreadID) *Block { return g.Blocks[l][t] }
+
+// Wings returns the blocks in the wings of the butterfly for body (l, t):
+// blocks (l−1, t'), (l, t'), (l+1, t') for all t' ≠ t (Figure 7), clipped to
+// the grid.
+func (g *Grid) Wings(l int, t trace.ThreadID) []*Block {
+	var out []*Block
+	for le := l - 1; le <= l+1; le++ {
+		if le < 0 || le >= len(g.Blocks) {
+			continue
+		}
+		for tt, b := range g.Blocks[le] {
+			if trace.ThreadID(tt) != t {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// TotalEvents returns the number of events across all blocks.
+func (g *Grid) TotalEvents() int {
+	n := 0
+	for _, row := range g.Blocks {
+		for _, b := range row {
+			n += b.Len()
+		}
+	}
+	return n
+}
+
+// Validate checks grid invariants: rectangular shape, correct coordinates,
+// and per-thread contiguity of Start offsets.
+func (g *Grid) Validate() error {
+	for l, row := range g.Blocks {
+		if len(row) != g.NumThreads {
+			return fmt.Errorf("epoch: epoch %d has %d blocks, want %d", l, len(row), g.NumThreads)
+		}
+		for t, b := range row {
+			if b.Epoch != l || b.Thread != trace.ThreadID(t) {
+				return fmt.Errorf("epoch: block at [%d][%d] labeled (%d,%d)", l, t, b.Epoch, b.Thread)
+			}
+			for _, e := range b.Events {
+				if e.Kind == trace.Heartbeat {
+					return fmt.Errorf("epoch: block (%d,%d) contains a heartbeat marker", l, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ChunkByHeartbeat splits each thread at its Heartbeat markers. Threads may
+// have different block sizes (the markers record when each core received the
+// signal). All threads must carry the same number of heartbeats; trailing
+// events after the last heartbeat form the final epoch.
+func ChunkByHeartbeat(tr *trace.Trace) (*Grid, error) {
+	nt := tr.NumThreads()
+	g := &Grid{NumThreads: nt}
+	perThread := make([][]*Block, nt)
+	beats := -1
+	for t, th := range tr.Threads {
+		var blocks []*Block
+		cur := &Block{Epoch: 0, Thread: trace.ThreadID(t), Start: 0}
+		for i, e := range th {
+			if e.Kind == trace.Heartbeat {
+				blocks = append(blocks, cur)
+				cur = &Block{Epoch: len(blocks), Thread: trace.ThreadID(t), Start: i + 1}
+				continue
+			}
+			cur.Events = append(cur.Events, e)
+		}
+		blocks = append(blocks, cur)
+		if beats == -1 {
+			beats = len(blocks)
+		} else if len(blocks) != beats {
+			return nil, fmt.Errorf("epoch: thread %d has %d epochs, thread 0 has %d (missing heartbeats?)", t, len(blocks), beats)
+		}
+		perThread[t] = blocks
+	}
+	if nt == 0 {
+		return g, nil
+	}
+	g.Blocks = make([][]*Block, beats)
+	for l := 0; l < beats; l++ {
+		g.Blocks[l] = make([]*Block, nt)
+		for t := 0; t < nt; t++ {
+			g.Blocks[l][t] = perThread[t][l]
+		}
+	}
+	return g, g.Validate()
+}
+
+// ChunkByCount splits every thread into epochs of exactly h events
+// (the last epoch may be shorter), padding threads with empty blocks so the
+// grid is rectangular. This models a perfectly synchronous heartbeat and is
+// convenient for tests.
+func ChunkByCount(tr *trace.Trace, h int) (*Grid, error) {
+	return ChunkWithSkew(tr, h, 0, 0)
+}
+
+// ChunkWithSkew is ChunkByCount with heartbeat skew: each epoch boundary in
+// each thread is independently shifted by a value drawn uniformly from
+// [0, maxSkew] events, modeling delayed heartbeat reception (§4.1). The shift
+// is monotone (boundaries never cross) and deterministic for a given seed.
+func ChunkWithSkew(tr *trace.Trace, h, maxSkew int, seed int64) (*Grid, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("epoch: block size h must be positive, got %d", h)
+	}
+	if maxSkew < 0 || maxSkew >= h {
+		if maxSkew != 0 {
+			return nil, fmt.Errorf("epoch: skew %d must be in [0, h) = [0, %d)", maxSkew, h)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nt := tr.NumThreads()
+	g := &Grid{NumThreads: nt}
+	perThread := make([][]*Block, nt)
+	maxEpochs := 0
+	for t, th := range tr.Threads {
+		// Strip heartbeat markers: count-based chunking re-derives epochs.
+		var evs []trace.Event
+		var orig []int // original index of each kept event
+		for i, e := range th {
+			if e.Kind != trace.Heartbeat {
+				evs = append(evs, e)
+				orig = append(orig, i)
+			}
+		}
+		var blocks []*Block
+		pos := 0
+		for l := 0; pos < len(evs) || l == 0; l++ {
+			end := (l + 1) * h
+			if maxSkew > 0 {
+				end += rng.Intn(maxSkew + 1)
+			}
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if end < pos {
+				end = pos
+			}
+			start := 0
+			if pos < len(orig) {
+				start = orig[pos]
+			}
+			blocks = append(blocks, &Block{
+				Epoch:  l,
+				Thread: trace.ThreadID(t),
+				Start:  start,
+				Events: evs[pos:end],
+			})
+			pos = end
+			if pos >= len(evs) {
+				break
+			}
+		}
+		perThread[t] = blocks
+		if len(blocks) > maxEpochs {
+			maxEpochs = len(blocks)
+		}
+	}
+	if nt == 0 {
+		return g, nil
+	}
+	g.Blocks = make([][]*Block, maxEpochs)
+	for l := 0; l < maxEpochs; l++ {
+		g.Blocks[l] = make([]*Block, nt)
+		for t := 0; t < nt; t++ {
+			if l < len(perThread[t]) {
+				g.Blocks[l][t] = perThread[t][l]
+			} else {
+				g.Blocks[l][t] = &Block{Epoch: l, Thread: trace.ThreadID(t), Start: len(tr.Threads[t])}
+			}
+		}
+	}
+	return g, g.Validate()
+}

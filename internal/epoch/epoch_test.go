@@ -1,0 +1,177 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+
+	"butterfly/internal/trace"
+)
+
+func TestChunkByHeartbeat(t *testing.T) {
+	tr := trace.NewBuilder(2).
+		T(0).Write(1, 1).Write(2, 1).Heartbeat().Write(3, 1).
+		T(1).Write(4, 1).Heartbeat().Write(5, 1).Write(6, 1).
+		Build()
+	g, err := ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEpochs() != 2 || g.NumThreads != 2 {
+		t.Fatalf("grid %d epochs × %d threads", g.NumEpochs(), g.NumThreads)
+	}
+	if g.Block(0, 0).Len() != 2 || g.Block(0, 1).Len() != 1 {
+		t.Fatalf("epoch 0 block sizes: %d, %d", g.Block(0, 0).Len(), g.Block(0, 1).Len())
+	}
+	if g.Block(1, 0).Len() != 1 || g.Block(1, 1).Len() != 2 {
+		t.Fatalf("epoch 1 block sizes: %d, %d", g.Block(1, 0).Len(), g.Block(1, 1).Len())
+	}
+	if g.TotalEvents() != 6 {
+		t.Fatalf("TotalEvents = %d", g.TotalEvents())
+	}
+	// Start offsets refer to the original trace (heartbeats included).
+	if g.Block(1, 0).Start != 3 || g.Block(1, 1).Start != 2 {
+		t.Fatalf("Start offsets: %d, %d", g.Block(1, 0).Start, g.Block(1, 1).Start)
+	}
+}
+
+func TestChunkByHeartbeatMismatch(t *testing.T) {
+	tr := trace.NewBuilder(2).
+		T(0).Write(1, 1).Heartbeat().Write(2, 1).
+		T(1).Write(3, 1).
+		Build()
+	if _, err := ChunkByHeartbeat(tr); err == nil {
+		t.Fatal("mismatched heartbeat counts accepted")
+	}
+}
+
+func TestChunkByCount(t *testing.T) {
+	b := trace.NewBuilder(2)
+	for i := 0; i < 10; i++ {
+		b.T(0).Write(uint64(i), 1)
+	}
+	for i := 0; i < 4; i++ {
+		b.T(1).Write(uint64(100+i), 1)
+	}
+	g, err := ChunkByCount(b.Build(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0: 3+3+3+1 = 4 epochs; thread 1: 3+1 = 2 epochs padded to 4.
+	if g.NumEpochs() != 4 {
+		t.Fatalf("epochs = %d", g.NumEpochs())
+	}
+	if g.Block(3, 0).Len() != 1 || g.Block(2, 1).Len() != 0 || g.Block(3, 1).Len() != 0 {
+		t.Fatal("tail/padding blocks wrong")
+	}
+	if g.TotalEvents() != 14 {
+		t.Fatalf("TotalEvents = %d", g.TotalEvents())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkByCountStripsHeartbeats(t *testing.T) {
+	tr := trace.NewBuilder(1).T(0).Write(1, 1).Heartbeat().Write(2, 1).Write(3, 1).Build()
+	g, err := ChunkByCount(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEpochs() != 2 || g.Block(0, 0).Len() != 2 || g.Block(1, 0).Len() != 1 {
+		t.Fatalf("got %d epochs, sizes %d/%d", g.NumEpochs(), g.Block(0, 0).Len(), g.Block(1, 0).Len())
+	}
+}
+
+func TestChunkRejectsBadParams(t *testing.T) {
+	tr := trace.NewBuilder(1).T(0).Write(1, 1).Build()
+	if _, err := ChunkByCount(tr, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := ChunkWithSkew(tr, 4, 4, 1); err == nil {
+		t.Error("skew >= h accepted")
+	}
+	if _, err := ChunkWithSkew(tr, 4, -1, 1); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+func TestChunkWithSkewPreservesOrderAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		nt := 1 + rng.Intn(4)
+		b := trace.NewBuilder(nt)
+		for th := 0; th < nt; th++ {
+			n := rng.Intn(40)
+			for i := 0; i < n; i++ {
+				b.T(trace.ThreadID(th)).Write(uint64(th*1000+i), 1)
+			}
+		}
+		tr := b.Build()
+		h := 2 + rng.Intn(6)
+		g, err := ChunkWithSkew(tr, h, rng.Intn(h), int64(iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Every event appears exactly once, in program order.
+		for th := 0; th < nt; th++ {
+			var got []trace.Event
+			for l := 0; l < g.NumEpochs(); l++ {
+				got = append(got, g.Block(l, trace.ThreadID(th)).Events...)
+			}
+			want := tr.Threads[th]
+			if len(got) != len(want) {
+				t.Fatalf("thread %d: %d events after chunking, want %d", th, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("thread %d event %d reordered", th, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWings(t *testing.T) {
+	b := trace.NewBuilder(3)
+	for th := 0; th < 3; th++ {
+		for i := 0; i < 9; i++ {
+			b.T(trace.ThreadID(th)).Nop(1)
+		}
+	}
+	g, err := ChunkByCount(b.Build(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Middle epoch: wings are 3 epochs × 2 other threads = 6 blocks.
+	w := g.Wings(1, 0)
+	if len(w) != 6 {
+		t.Fatalf("wings(1,0) = %d blocks, want 6", len(w))
+	}
+	for _, blk := range w {
+		if blk.Thread == 0 {
+			t.Fatal("own thread in wings")
+		}
+		if blk.Epoch < 0 || blk.Epoch > 2 {
+			t.Fatalf("wing epoch %d outside window", blk.Epoch)
+		}
+	}
+	// First epoch: clipped to epochs 0..1 → 4 blocks.
+	if w := g.Wings(0, 1); len(w) != 4 {
+		t.Fatalf("wings(0,1) = %d blocks, want 4", len(w))
+	}
+	// Last epoch similarly clipped.
+	if w := g.Wings(2, 2); len(w) != 4 {
+		t.Fatalf("wings(2,2) = %d blocks, want 4", len(w))
+	}
+}
+
+func TestBlockRef(t *testing.T) {
+	blk := &Block{Epoch: 2, Thread: 1}
+	r := blk.Ref(5)
+	if r.Epoch != 2 || r.Thread != 1 || r.Index != 5 {
+		t.Fatalf("Ref = %v", r)
+	}
+}

@@ -1,0 +1,61 @@
+package interleave
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestCountExactMatchesEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 30; iter++ {
+		nt := 1 + rng.Intn(3)
+		sizes := make([][]int, nt)
+		for th := range sizes {
+			ne := 1 + rng.Intn(3)
+			sizes[th] = make([]int, ne)
+			for l := range sizes[th] {
+				sizes[th][l] = rng.Intn(3)
+			}
+		}
+		g := grid(t, sizes)
+		want, exact := Count(g, 0)
+		if !exact {
+			t.Fatal("enumeration should be exact without a limit")
+		}
+		got := CountExact(g)
+		if got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("iter %d: CountExact = %v, Enumerate = %d (sizes %v)", iter, got, want, sizes)
+		}
+	}
+}
+
+func TestCountExactKnownValues(t *testing.T) {
+	// Two threads, one epoch, n events each: C(2n, n) interleavings.
+	g := grid(t, [][]int{{3}, {3}})
+	if got := CountExact(g); got.Cmp(big.NewInt(20)) != 0 {
+		t.Fatalf("C(6,3) = %v, want 20", got)
+	}
+	// Empty grid: exactly one (empty) ordering.
+	g0 := grid(t, [][]int{{0}})
+	if got := CountExact(g0); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty = %v, want 1", got)
+	}
+}
+
+func TestWindowOrderingsExplosion(t *testing.T) {
+	// The motivation for summarization (§3): even small windows have
+	// astronomically many valid orderings.
+	small := WindowOrderings(2, 2)
+	if small.Cmp(big.NewInt(1)) <= 0 {
+		t.Fatalf("window should have many orderings, got %v", small)
+	}
+	big4 := WindowOrderings(4, 4)
+	// 4 threads × 3 epochs × 4 events: beyond 10^24 orderings.
+	bound := new(big.Int).Exp(big.NewInt(10), big.NewInt(24), nil)
+	if big4.Cmp(bound) < 0 {
+		t.Fatalf("expected explosion beyond 1e24, got %v", big4)
+	}
+	t.Logf("valid orderings in a 2×2 window: %v", small)
+	t.Logf("valid orderings in a 4×4 window: %v", big4)
+}

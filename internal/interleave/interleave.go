@@ -1,0 +1,243 @@
+// Package interleave implements the paper's "valid ordering" semantics
+// (§5, "Valid Ordering"): a valid ordering O_k is a total sequential order
+// of all instructions in the first k epochs that
+//
+//  1. respects program order within each thread, and
+//  2. places every instruction of epoch l before any instruction of epoch
+//     l+2 (non-adjacent epochs have strict happens-before).
+//
+// The set of valid orderings is a superset of the orderings any machine
+// (with cache coherence and intra-thread dependences) can produce, which is
+// exactly why butterfly analysis has zero false negatives. This package
+// provides an exhaustive enumerator (the test oracle for Lemmas 5.1/5.2 and
+// Theorems 6.1/6.2 on tiny windows), a validator, a random sampler, and a
+// counter.
+package interleave
+
+import (
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/epoch"
+	"butterfly/internal/trace"
+)
+
+// Item is one instruction occurrence inside a valid ordering.
+type Item struct {
+	Ref trace.Ref
+	Ev  trace.Event
+}
+
+// flatten lays each thread's blocks out in program order.
+func flatten(g *epoch.Grid) [][]Item {
+	per := make([][]Item, g.NumThreads)
+	for l := 0; l < g.NumEpochs(); l++ {
+		for t := 0; t < g.NumThreads; t++ {
+			b := g.Block(l, trace.ThreadID(t))
+			for i, e := range b.Events {
+				per[t] = append(per[t], Item{Ref: b.Ref(i), Ev: e})
+			}
+		}
+	}
+	return per
+}
+
+const doneEpoch = int(^uint(0) >> 1) // max int: thread exhausted
+
+// nextEpoch returns the epoch of thread t's next unemitted item.
+func nextEpoch(per [][]Item, pos []int, t int) int {
+	if pos[t] >= len(per[t]) {
+		return doneEpoch
+	}
+	return per[t][pos[t]].Ref.Epoch
+}
+
+// eligible reports whether thread t's next item may be emitted: every
+// instruction of epochs ≤ l−2 (any thread) must already be emitted, i.e.
+// every thread's next epoch must be ≥ l−1.
+func eligible(per [][]Item, pos []int, t int) bool {
+	l := nextEpoch(per, pos, t)
+	if l == doneEpoch {
+		return false
+	}
+	for u := range per {
+		if nextEpoch(per, pos, u) < l-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate calls visit for every valid ordering of all events in g, in a
+// deterministic order. If visit returns false, enumeration stops early.
+// The number of orderings is exponential; callers must keep g tiny.
+func Enumerate(g *epoch.Grid, visit func([]Item) bool) {
+	per := flatten(g)
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	pos := make([]int, len(per))
+	order := make([]Item, 0, total)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == total {
+			return visit(append([]Item(nil), order...))
+		}
+		for t := range per {
+			if !eligible(per, pos, t) {
+				continue
+			}
+			order = append(order, per[t][pos[t]])
+			pos[t]++
+			ok := rec()
+			pos[t]--
+			order = order[:len(order)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// Count returns the number of valid orderings of g, stopping at limit
+// (0 means no limit). The boolean reports whether the count is exact.
+func Count(g *epoch.Grid, limit int) (int, bool) {
+	n := 0
+	exact := true
+	Enumerate(g, func([]Item) bool {
+		n++
+		if limit > 0 && n >= limit {
+			exact = false
+			return false
+		}
+		return true
+	})
+	return n, exact
+}
+
+// Random returns one valid ordering drawn by uniformly choosing among
+// eligible threads at each step. (Not uniform over orderings; sufficient for
+// randomized testing.)
+func Random(g *epoch.Grid, rng *rand.Rand) []Item {
+	per := flatten(g)
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	pos := make([]int, len(per))
+	order := make([]Item, 0, total)
+	elig := make([]int, 0, len(per))
+	for len(order) < total {
+		elig = elig[:0]
+		for t := range per {
+			if eligible(per, pos, t) {
+				elig = append(elig, t)
+			}
+		}
+		if len(elig) == 0 {
+			// Unreachable if the grid is well formed: some thread always has
+			// the minimum epoch and is therefore eligible.
+			panic("interleave: no eligible thread")
+		}
+		t := elig[rng.Intn(len(elig))]
+		order = append(order, per[t][pos[t]])
+		pos[t]++
+	}
+	return order
+}
+
+// Validate checks that order is a valid ordering of exactly the events in g.
+func Validate(g *epoch.Grid, order []Item) error {
+	per := flatten(g)
+	pos := make([]int, len(per))
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	if len(order) != total {
+		return fmt.Errorf("interleave: ordering has %d items, grid has %d", len(order), total)
+	}
+	for i, it := range order {
+		t := int(it.Ref.Thread)
+		if t < 0 || t >= len(per) {
+			return fmt.Errorf("interleave: item %d has bad thread %d", i, t)
+		}
+		if pos[t] >= len(per[t]) || per[t][pos[t]].Ref != it.Ref {
+			return fmt.Errorf("interleave: item %d (%v) violates program order", i, it.Ref)
+		}
+		// Epoch separation: nothing of epoch ≤ l−2 may remain unemitted.
+		for u := range per {
+			if nextEpoch(per, pos, u) < it.Ref.Epoch-1 {
+				return fmt.Errorf("interleave: item %d (%v) emitted before epoch %d finished in thread %d",
+					i, it.Ref, it.Ref.Epoch-2, u)
+			}
+		}
+		pos[t]++
+	}
+	return nil
+}
+
+// Events projects an ordering to its event sequence (for feeding sequential
+// oracle analyses).
+func Events(order []Item) []trace.Event {
+	out := make([]trace.Event, len(order))
+	for i, it := range order {
+		out[i] = it.Ev
+	}
+	return out
+}
+
+// FromGlobal converts a machine ground-truth order into ordering items,
+// given the grid that chunked the same trace. It maps each trace position to
+// its (l, t, i) name. Events not present in the grid (heartbeats) must not
+// appear in the ground truth.
+func FromGlobal(g *epoch.Grid, tr *trace.Trace) ([]Item, error) {
+	if tr.Global == nil {
+		return nil, fmt.Errorf("interleave: trace has no ground truth")
+	}
+	// Build index: thread -> original trace index -> (l, i within block),
+	// as dense per-thread tables (traces are contiguous).
+	type loc struct{ l, i int32 }
+	const unset = int32(-1)
+	idx := make([][]loc, g.NumThreads)
+	for t := range idx {
+		idx[t] = make([]loc, len(tr.Threads[t]))
+		for oi := range idx[t] {
+			idx[t][oi].l = unset
+		}
+	}
+	for l := 0; l < g.NumEpochs(); l++ {
+		for t := 0; t < g.NumThreads; t++ {
+			b := g.Block(l, trace.ThreadID(t))
+			// The block's events are contiguous in the original trace except
+			// for heartbeat markers, which ChunkByHeartbeat removed. Walk the
+			// original trace from Start, skipping heartbeats.
+			oi := b.Start
+			for i := range b.Events {
+				for oi < len(tr.Threads[t]) && tr.Threads[t][oi].Kind == trace.Heartbeat {
+					oi++
+				}
+				if oi >= len(idx[t]) {
+					return nil, fmt.Errorf("interleave: block (%d,%d) exceeds thread %d trace", l, t, t)
+				}
+				idx[t][oi] = loc{int32(l), int32(i)}
+				oi++
+			}
+		}
+	}
+	out := make([]Item, 0, len(tr.Global))
+	for _, gr := range tr.Global {
+		lc := idx[gr.Thread][gr.Index]
+		if lc.l == unset {
+			return nil, fmt.Errorf("interleave: ground-truth ref (t%d,%d) not found in grid", gr.Thread, gr.Index)
+		}
+		out = append(out, Item{
+			Ref: trace.Ref{Epoch: int(lc.l), Thread: gr.Thread, Index: int(lc.i)},
+			Ev:  tr.Threads[gr.Thread][gr.Index],
+		})
+	}
+	return out, nil
+}

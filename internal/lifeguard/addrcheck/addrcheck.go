@@ -1,0 +1,261 @@
+// Package addrcheck implements the AddrCheck memory-checking lifeguard —
+// the paper's §6.1 instantiation of butterfly reaching expressions — plus
+// its sequential oracle.
+//
+// AddrCheck verifies that every memory access touches allocated memory,
+// every free targets allocated memory, and every allocation targets
+// unallocated memory. In the butterfly adaptation, allocations play the role
+// of GEN and deallocations of KILL over *byte intervals*. The checking
+// algorithm has two parts: per-instruction checks against the LSOS (does the
+// address appear allocated within this thread's strongly ordered view?) and
+// an isolation check against the wings (was any allocation state change
+// concurrent with a conflicting operation? — "a race on the metadata
+// state"). Flagging is conservative: every true error is reported
+// (Theorem 6.1), at the cost of false positives when safe allocation
+// hand-offs land in adjacent epochs (Figure 9).
+package addrcheck
+
+import (
+	"fmt"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// Report codes produced by AddrCheck.
+const (
+	// CodeUnallocAccess flags a read or write to memory that does not
+	// appear allocated.
+	CodeUnallocAccess = "addrcheck.unallocated-access"
+	// CodeUnallocFree flags a free of memory that does not appear allocated.
+	CodeUnallocFree = "addrcheck.unallocated-free"
+	// CodeDoubleAlloc flags an allocation of memory that appears allocated.
+	CodeDoubleAlloc = "addrcheck.double-alloc"
+	// CodeIsolation flags an operation that conflicts with a concurrent
+	// allocation-state change in the wings (metadata race).
+	CodeIsolation = "addrcheck.concurrent-metadata-change"
+)
+
+// Butterfly is the butterfly-analysis AddrCheck lifeguard. It implements
+// core.Lifeguard with interval-set state.
+type Butterfly struct {
+	// FilterBelow ignores events whose address range lies entirely below
+	// this bound — the paper's heap-only configuration filters stack
+	// accesses. Zero monitors everything.
+	FilterBelow uint64
+}
+
+var _ core.Lifeguard = (*Butterfly)(nil)
+
+// Summary is AddrCheck's first-pass block summary.
+type Summary struct {
+	// Gen and Kill are the sequential reaching-expressions block summary
+	// over bytes: Gen = allocated and still allocated at block end; Kill =
+	// freed and not reallocated.
+	Gen, Kill *sets.IntervalSet
+	// GenAny and KillAny are bytes allocated/freed *anywhere* in the block:
+	// the wings may interleave with any internal position, so isolation
+	// must consider every metadata change.
+	GenAny, KillAny *sets.IntervalSet
+	// Access is every byte read or written by the block.
+	Access *sets.IntervalSet
+}
+
+// changes returns the bytes whose allocation metadata the block changes.
+func (s *Summary) changes() *sets.IntervalSet {
+	return s.GenAny.Union(s.KillAny)
+}
+
+// New returns a heap-only AddrCheck that ignores addresses below filterBelow.
+func New(filterBelow uint64) *Butterfly {
+	return &Butterfly{FilterBelow: filterBelow}
+}
+
+// Name implements core.Lifeguard.
+func (a *Butterfly) Name() string { return "addrcheck" }
+
+// BottomState implements core.Lifeguard: nothing is allocated initially.
+func (a *Butterfly) BottomState() core.State { return sets.NewIntervalSet() }
+
+// relevant reports whether AddrCheck monitors this event.
+func (a *Butterfly) relevant(e trace.Event) bool {
+	switch e.Kind {
+	case trace.Read, trace.Write, trace.Alloc, trace.Free:
+		return e.Hi() > a.FilterBelow
+	}
+	return false
+}
+
+func sum(s core.Summary) *Summary {
+	if s == nil {
+		return nil
+	}
+	return s.(*Summary)
+}
+
+// lsos computes LSOS_{l,t} (the reaching-expressions form, §5.2.1, over
+// intervals): head allocations survive unless another thread freed those
+// bytes in epoch l−2; SOS bytes survive unless the head freed them.
+func (a *Butterfly) lsos(t trace.ThreadID, ctx core.PassContext) *sets.IntervalSet {
+	sos := ctx.SOS.(*sets.IntervalSet)
+	head := sum(ctx.Head)
+	if head == nil {
+		return sos.Clone()
+	}
+	fromHead := head.Gen.Clone()
+	for tt, s2 := range ctx.Epoch2Back {
+		if trace.ThreadID(tt) == t || s2 == nil {
+			continue
+		}
+		fromHead = fromHead.Subtract(sum(s2).Kill)
+	}
+	out := sos.Subtract(head.Kill)
+	out.UnionInPlace(fromHead)
+	return out
+}
+
+// FirstPass implements core.Lifeguard: build the block summary and run the
+// traditional per-instruction checks against the LSOS, updating it in place
+// (LSOS_{l,t,k} = GEN ∪ (LSOS_{l,t,k−1} − KILL)).
+func (a *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summary, []core.Report) {
+	s := &Summary{
+		Gen:     sets.NewIntervalSet(),
+		Kill:    sets.NewIntervalSet(),
+		GenAny:  sets.NewIntervalSet(),
+		KillAny: sets.NewIntervalSet(),
+		Access:  sets.NewIntervalSet(),
+	}
+	lsos := a.lsos(b.Thread, ctx)
+	var reports []core.Report
+	flag := func(i int, code, detail string) {
+		reports = append(reports, core.Report{Ref: b.Ref(i), Ev: b.Events[i], Code: code, Detail: detail})
+	}
+	for i, e := range b.Events {
+		if !a.relevant(e) {
+			continue
+		}
+		lo, hi := e.Lo(), e.Hi()
+		switch e.Kind {
+		case trace.Read, trace.Write:
+			s.Access.AddRange(lo, hi)
+			if !lsos.ContainsRange(lo, hi) {
+				flag(i, CodeUnallocAccess, fmt.Sprintf("%v of [%#x,%#x) not within allocated memory", e.Kind, lo, hi))
+			}
+		case trace.Alloc:
+			if lsos.OverlapsRange(lo, hi) {
+				flag(i, CodeDoubleAlloc, fmt.Sprintf("allocation of [%#x,%#x) overlaps allocated memory", lo, hi))
+			}
+			lsos.AddRange(lo, hi)
+			s.Gen.AddRange(lo, hi)
+			s.Kill.RemoveRange(lo, hi)
+			s.GenAny.AddRange(lo, hi)
+		case trace.Free:
+			if !lsos.ContainsRange(lo, hi) {
+				flag(i, CodeUnallocFree, fmt.Sprintf("free of [%#x,%#x) not within allocated memory", lo, hi))
+			}
+			lsos.RemoveRange(lo, hi)
+			s.Kill.AddRange(lo, hi)
+			s.Gen.RemoveRange(lo, hi)
+			s.KillAny.AddRange(lo, hi)
+		}
+	}
+	return s, reports
+}
+
+// SecondPass implements core.Lifeguard: the isolation check. With s the
+// body's summary and S the union of the wings', the paper flags
+//
+//	((s.GEN ∪ s.KILL) ∩ (S.GEN ∪ S.KILL)) ∪
+//	(s.ACCESS ∩ (S.GEN ∪ S.KILL)) ∪ (S.ACCESS ∩ (s.GEN ∪ s.KILL))
+//
+// We attribute each element of this set to the body instructions that touch
+// it; the S.ACCESS ∩ s-changes term flags the body's allocs/frees (the wing
+// access is flagged symmetrically when its own block is the body).
+func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []core.Summary) []core.Report {
+	wingChanges := sets.NewIntervalSet()
+	wingAccess := sets.NewIntervalSet()
+	for _, w := range wings {
+		ws := sum(w)
+		wingChanges.UnionInPlace(ws.GenAny)
+		wingChanges.UnionInPlace(ws.KillAny)
+		wingAccess.UnionInPlace(ws.Access)
+	}
+	if wingChanges.Empty() && wingAccess.Empty() {
+		return nil
+	}
+	var reports []core.Report
+	for i, e := range b.Events {
+		if !a.relevant(e) {
+			continue
+		}
+		lo, hi := e.Lo(), e.Hi()
+		switch e.Kind {
+		case trace.Read, trace.Write:
+			if wingChanges.OverlapsRange(lo, hi) {
+				reports = append(reports, core.Report{
+					Ref: b.Ref(i), Ev: e, Code: CodeIsolation,
+					Detail: fmt.Sprintf("%v of [%#x,%#x) concurrent with an allocation-state change", e.Kind, lo, hi),
+				})
+			}
+		case trace.Alloc, trace.Free:
+			if wingChanges.OverlapsRange(lo, hi) || wingAccess.OverlapsRange(lo, hi) {
+				reports = append(reports, core.Report{
+					Ref: b.Ref(i), Ev: e, Code: CodeIsolation,
+					Detail: fmt.Sprintf("%v of [%#x,%#x) concurrent with a conflicting operation", e.Kind, lo, hi),
+				})
+			}
+		}
+	}
+	return reports
+}
+
+// UpdateSOS implements core.Lifeguard with the reaching-expressions epoch
+// summary (§5.2) over intervals:
+//
+//	KILLₗ = ⋃ₜ KILL_{l,t}
+//	GENₗ  = ⋃ₜ (GEN_{l,t} − ⋃_{t'≠t}(killedSpan(t') − gennedSpan(t')))
+//
+// where killedSpan(t') = KILL_{l−1,t'} ∪ KILL_{l,t'} and gennedSpan(t') =
+// (GEN_{l−1,t'} − KILL_{l,t'}) ∪ GEN_{l,t'} — a byte allocated by thread t
+// survives every interleaving only if no other thread's net effect can
+// deallocate it.
+func (a *Butterfly) UpdateSOS(prev core.State, prevEpoch, curEpoch []core.Summary) core.State {
+	sos := prev.(*sets.IntervalSet)
+	gen, kill := a.epochGenKill(prevEpoch, curEpoch)
+	out := sos.Subtract(kill)
+	out.UnionInPlace(gen)
+	return out
+}
+
+func (a *Butterfly) epochGenKill(prevEpoch, curEpoch []core.Summary) (gen, kill *sets.IntervalSet) {
+	kill = sets.NewIntervalSet()
+	for _, s := range curEpoch {
+		kill.UnionInPlace(sum(s).Kill)
+	}
+	gen = sets.NewIntervalSet()
+	T := len(curEpoch)
+	for t := 0; t < T; t++ {
+		g := sum(curEpoch[t]).Gen.Clone()
+		for tt := 0; tt < T; tt++ {
+			if tt == t || g.Empty() {
+				continue
+			}
+			cur := sum(curEpoch[tt])
+			var prev *Summary
+			if prevEpoch != nil {
+				prev = sum(prevEpoch[tt])
+			}
+			killedSpan := cur.Kill.Clone()
+			gennedSpan := cur.Gen.Clone()
+			if prev != nil {
+				killedSpan.UnionInPlace(prev.Kill)
+				gennedSpan.UnionInPlace(prev.Gen.Subtract(cur.Kill))
+			}
+			g = g.Subtract(killedSpan.Subtract(gennedSpan))
+		}
+		gen.UnionInPlace(g)
+	}
+	return gen, kill
+}

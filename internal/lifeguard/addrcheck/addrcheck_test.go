@@ -1,0 +1,299 @@
+package addrcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/trace"
+)
+
+func run(t *testing.T, tr *trace.Trace, h int) *core.Result {
+	t.Helper()
+	g, err := epoch.ChunkByCount(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Driver{LG: New(0)}
+	return d.Run(g)
+}
+
+func refs(rs []core.Report) map[trace.Ref][]string {
+	m := map[trace.Ref][]string{}
+	for _, r := range rs {
+		m[r.Ref] = append(m[r.Ref], r.Code)
+	}
+	return m
+}
+
+func TestSequentialSafeProgramCleanWithinThread(t *testing.T) {
+	// Alloc, use, free within one thread, spread over epochs: no reports.
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Write(0x100, 4).Read(0x104, 4).
+		Nop(1).Write(0x108, 8).Free(0x100, 16).
+		Build()
+	res := run(t, tr, 2)
+	if len(res.Reports) != 0 {
+		t.Fatalf("safe single-thread program flagged: %v", res.Reports)
+	}
+}
+
+func TestDetectsUseAfterFreeSameThread(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Free(0x100, 16).Read(0x100, 4).
+		Build()
+	res := run(t, tr, 8)
+	m := refs(res.Reports)
+	want := trace.Ref{Epoch: 0, Thread: 0, Index: 2}
+	if _, ok := m[want]; !ok {
+		t.Fatalf("use-after-free not flagged; reports: %v", res.Reports)
+	}
+}
+
+func TestDetectsDoubleFreeAndDoubleAlloc(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Free(0x100, 16).Free(0x100, 16).Alloc(0x200, 8).Alloc(0x204, 8).
+		Build()
+	res := run(t, tr, 8)
+	m := refs(res.Reports)
+	if _, ok := m[trace.Ref{Epoch: 0, Thread: 0, Index: 2}]; !ok {
+		t.Error("double free not flagged")
+	}
+	if _, ok := m[trace.Ref{Epoch: 0, Thread: 0, Index: 4}]; !ok {
+		t.Error("overlapping alloc not flagged")
+	}
+}
+
+func TestCrossThreadStrictlyOrderedIsClean(t *testing.T) {
+	// Thread 0 allocates in epoch 0; thread 1 uses in epoch 2 (two epochs
+	// later — strictly ordered). No reports.
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 16).Heartbeat().Nop(1).Heartbeat().Nop(1).
+		T(1).Nop(1).Heartbeat().Nop(1).Heartbeat().Read(0x100, 4).
+		Build()
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0)}).Run(g)
+	if len(res.Reports) != 0 {
+		t.Fatalf("strictly ordered cross-thread use flagged: %v", res.Reports)
+	}
+}
+
+func TestFigure9Scenarios(t *testing.T) {
+	// Paper Figure 9: thread 1 allocates a in epoch j; thread 2 accesses a
+	// in epoch j+1 (adjacent — potentially concurrent) → flagged (a false
+	// positive by design). Thread 3 allocates b in epoch j+1 and accesses it
+	// itself in epoch j+2 → isolated, not flagged.
+	const a, bAddr = 0x100, 0x200
+	tr := trace.NewBuilder(3).
+		T(0).Alloc(a, 8).Heartbeat().Nop(1).Heartbeat().Nop(1).
+		T(1).Nop(1).Heartbeat().Write(a, 4).Heartbeat().Nop(1).
+		T(2).Nop(1).Heartbeat().Alloc(bAddr, 8).Heartbeat().Write(bAddr, 4).
+		Build()
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0)}).Run(g)
+	m := refs(res.Reports)
+	t2access := trace.Ref{Epoch: 1, Thread: 1, Index: 0}
+	if _, ok := m[t2access]; !ok {
+		t.Errorf("potentially-concurrent access to a not flagged (expected conservative FP)")
+	}
+	t3access := trace.Ref{Epoch: 2, Thread: 2, Index: 0}
+	if codes, ok := m[t3access]; ok {
+		t.Errorf("isolated allocation+access flagged: %v", codes)
+	}
+	t3alloc := trace.Ref{Epoch: 1, Thread: 2, Index: 0}
+	if codes, ok := m[t3alloc]; ok {
+		t.Errorf("isolated allocation flagged: %v", codes)
+	}
+}
+
+func TestIsolationFlagsConcurrentFreeAndAccess(t *testing.T) {
+	// Thread 0 frees the buffer in the same epoch thread 1 reads it: both
+	// the read (unallocated or racy) and the free must be flagged.
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 16).Heartbeat().Nop(1).Heartbeat().Free(0x100, 16).
+		T(1).Nop(1).Heartbeat().Nop(1).Heartbeat().Read(0x100, 4).
+		Build()
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0)}).Run(g)
+	m := refs(res.Reports)
+	if _, ok := m[trace.Ref{Epoch: 2, Thread: 1, Index: 0}]; !ok {
+		t.Error("read concurrent with free not flagged")
+	}
+	if _, ok := m[trace.Ref{Epoch: 2, Thread: 0, Index: 0}]; !ok {
+		t.Error("free concurrent with read not flagged")
+	}
+}
+
+func TestHeapFilter(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Read(0x10, 4). // "stack" access below the heap: filtered
+		Read(0x1000, 4).    // heap access to unallocated memory: flagged
+		Build()
+	g, err := epoch.ChunkByCount(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0x100)}).Run(g)
+	m := refs(res.Reports)
+	if _, ok := m[trace.Ref{Epoch: 0, Thread: 0, Index: 0}]; ok {
+		t.Error("filtered stack access flagged")
+	}
+	if _, ok := m[trace.Ref{Epoch: 0, Thread: 0, Index: 1}]; !ok {
+		t.Error("heap access not flagged")
+	}
+}
+
+// randomHeapTrace generates small multi-threaded alloc/free/access traces
+// over a handful of chunks, including cross-thread handoffs and genuine
+// bugs, so both error detection and conservativeness are exercised.
+func randomHeapTrace(rng *rand.Rand, nthreads, perThread int) *trace.Trace {
+	b := trace.NewBuilder(nthreads)
+	chunks := []struct{ lo, size uint64 }{
+		{0x100, 8}, {0x200, 16}, {0x300, 8},
+	}
+	for th := 0; th < nthreads; th++ {
+		b.T(trace.ThreadID(th))
+		for i := 0; i < perThread; i++ {
+			c := chunks[rng.Intn(len(chunks))]
+			off := uint64(rng.Intn(int(c.size - 3)))
+			switch rng.Intn(5) {
+			case 0:
+				b.Alloc(c.lo, c.size)
+			case 1:
+				b.Free(c.lo, c.size)
+			case 2, 3:
+				b.Read(c.lo+off, 4)
+			default:
+				b.Write(c.lo+off, 4)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestTheorem61ZeroFalseNegatives: for every valid ordering, every error the
+// sequential AddrCheck reports must also be flagged by butterfly AddrCheck.
+func TestTheorem61ZeroFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 60; iter++ {
+		tr := randomHeapTrace(rng, 2, 4)
+		g, err := epoch.ChunkByCount(tr, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres := (&core.Driver{LG: New(0)}).Run(g)
+		flagged := refs(bres.Reports)
+		oracle := NewOracle(0)
+		interleave.Enumerate(g, func(o []interleave.Item) bool {
+			for _, rep := range lifeguard.RunOracle(oracle, o) {
+				if _, ok := flagged[rep.Ref]; !ok {
+					t.Errorf("iter %d: FALSE NEGATIVE: %v found by oracle, missed by butterfly", iter, rep)
+					return false
+				}
+			}
+			return true
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestGroundTruthComparison exercises the FP accounting path end to end on a
+// trace with a known ground-truth interleaving: a use-after-free that truly
+// happens plus a safe adjacent-epoch handoff that produces a known FP.
+func TestGroundTruthComparison(t *testing.T) {
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 8).Heartbeat().Free(0x100, 8).Read(0x100, 4).
+		T(1).Nop(1).Heartbeat().Read(0x100, 4).
+		Build()
+	// Ground truth: t0 alloc, t1 nop, t1 read (after alloc: safe), t0 free,
+	// t0 read (use-after-free: true error).
+	tr.Global = []trace.GlobalRef{
+		{Thread: 0, Index: 0}, {Thread: 1, Index: 0}, {Thread: 1, Index: 2},
+		{Thread: 0, Index: 2}, {Thread: 0, Index: 3},
+	}
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres := (&core.Driver{LG: New(0)}).Run(g)
+	items, err := interleave.FromGlobal(g, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lifeguard.RunOracle(NewOracle(0), items)
+	cmp := lifeguard.Compare(bres.Reports, truth, tr.MemAccesses())
+	if len(cmp.FalseNegatives) != 0 {
+		t.Fatalf("false negatives: %v", cmp.FalseNegatives)
+	}
+	// The true use-after-free must be a TP.
+	foundTP := false
+	for _, r := range cmp.TruePositives {
+		if r == (trace.Ref{Epoch: 1, Thread: 0, Index: 1}) {
+			foundTP = true
+		}
+	}
+	if !foundTP {
+		t.Errorf("true use-after-free not among true positives: %v", cmp.TruePositives)
+	}
+	// Thread 1's read is safe in ground truth but potentially concurrent
+	// with the free → expected FP.
+	foundFP := false
+	for _, r := range cmp.FalsePositives {
+		if r == (trace.Ref{Epoch: 1, Thread: 1, Index: 0}) {
+			foundFP = true
+		}
+	}
+	if !foundFP {
+		t.Errorf("expected FP on thread 1's read; FPs: %v", cmp.FalsePositives)
+	}
+	if cmp.FPRate() <= 0 {
+		t.Error("FP rate should be positive")
+	}
+}
+
+func TestOracleBasics(t *testing.T) {
+	o := NewOracle(0)
+	r := func(k trace.Kind, addr, size uint64) []core.Report {
+		return o.Process(trace.Ref{}, trace.Event{Kind: k, Addr: addr, Size: size})
+	}
+	if got := r(trace.Read, 0x100, 4); len(got) != 1 || got[0].Code != CodeUnallocAccess {
+		t.Fatalf("unallocated read: %v", got)
+	}
+	if got := r(trace.Alloc, 0x100, 16); len(got) != 0 {
+		t.Fatalf("fresh alloc flagged: %v", got)
+	}
+	if got := r(trace.Read, 0x100, 4); len(got) != 0 {
+		t.Fatalf("allocated read flagged: %v", got)
+	}
+	if got := r(trace.Alloc, 0x108, 4); len(got) != 1 || got[0].Code != CodeDoubleAlloc {
+		t.Fatalf("overlapping alloc: %v", got)
+	}
+	if got := r(trace.Free, 0x100, 16); len(got) != 0 {
+		t.Fatalf("valid free flagged: %v", got)
+	}
+	if got := r(trace.Free, 0x100, 16); len(got) != 1 || got[0].Code != CodeUnallocFree {
+		t.Fatalf("double free: %v", got)
+	}
+	// Non-memory events are ignored.
+	if got := o.Process(trace.Ref{}, trace.Event{Kind: trace.Nop}); got != nil {
+		t.Fatalf("nop produced reports: %v", got)
+	}
+	o.Reset()
+	if !o.Allocated().Empty() {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,71 @@
+package addrcheck
+
+import (
+	"fmt"
+
+	"butterfly/internal/core"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// Oracle is the original sequential AddrCheck: it consumes a single
+// serialized event stream and keeps exact allocation metadata, so every
+// report is a true error for that ordering. It defines ground truth for
+// false-positive accounting and powers the timesliced baseline.
+type Oracle struct {
+	// FilterBelow matches Butterfly.FilterBelow (heap-only monitoring).
+	FilterBelow uint64
+
+	allocated *sets.IntervalSet
+}
+
+var _ lifeguard.Oracle = (*Oracle)(nil)
+
+// NewOracle returns a sequential AddrCheck with the given heap filter.
+func NewOracle(filterBelow uint64) *Oracle {
+	return &Oracle{FilterBelow: filterBelow, allocated: sets.NewIntervalSet()}
+}
+
+// Name implements lifeguard.Oracle.
+func (o *Oracle) Name() string { return "addrcheck-sequential" }
+
+// Reset implements lifeguard.Oracle.
+func (o *Oracle) Reset() { o.allocated = sets.NewIntervalSet() }
+
+// Process implements lifeguard.Oracle.
+func (o *Oracle) Process(ref trace.Ref, e trace.Event) []core.Report {
+	switch e.Kind {
+	case trace.Read, trace.Write, trace.Alloc, trace.Free:
+		if e.Hi() <= o.FilterBelow {
+			return nil
+		}
+	default:
+		return nil
+	}
+	lo, hi := e.Lo(), e.Hi()
+	var reports []core.Report
+	flag := func(code, detail string) {
+		reports = append(reports, core.Report{Ref: ref, Ev: e, Code: code, Detail: detail})
+	}
+	switch e.Kind {
+	case trace.Read, trace.Write:
+		if !o.allocated.ContainsRange(lo, hi) {
+			flag(CodeUnallocAccess, fmt.Sprintf("%v of [%#x,%#x) to unallocated memory", e.Kind, lo, hi))
+		}
+	case trace.Alloc:
+		if o.allocated.OverlapsRange(lo, hi) {
+			flag(CodeDoubleAlloc, fmt.Sprintf("allocation of [%#x,%#x) overlaps live allocation", lo, hi))
+		}
+		o.allocated.AddRange(lo, hi)
+	case trace.Free:
+		if !o.allocated.ContainsRange(lo, hi) {
+			flag(CodeUnallocFree, fmt.Sprintf("free of [%#x,%#x) of unallocated memory", lo, hi))
+		}
+		o.allocated.RemoveRange(lo, hi)
+	}
+	return reports
+}
+
+// Allocated exposes the current allocation metadata (for tests).
+func (o *Oracle) Allocated() *sets.IntervalSet { return o.allocated.Clone() }

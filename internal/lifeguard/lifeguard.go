@@ -1,0 +1,108 @@
+// Package lifeguard provides the pieces shared by concrete lifeguards:
+// the sequential-oracle interface (a lifeguard run over a single serialized
+// event stream, exactly like the pre-butterfly state of the art) and the
+// report comparison used to score false positives and verify the zero
+// false-negative guarantee.
+package lifeguard
+
+import (
+	"sort"
+
+	"butterfly/internal/core"
+	"butterfly/internal/interleave"
+	"butterfly/internal/trace"
+)
+
+// Oracle is a sequential lifeguard: it consumes one serialized stream of
+// application events (a total order) and reports errors. Oracles define the
+// ground truth against which the butterfly versions are scored, and also
+// serve as the analysis engine of the timesliced baseline.
+type Oracle interface {
+	// Name identifies the oracle.
+	Name() string
+	// Process consumes the next event; ref names it for reports.
+	Process(ref trace.Ref, e trace.Event) []core.Report
+	// Reset returns the oracle to its initial state.
+	Reset()
+}
+
+// RunOracle feeds a serialized ordering through an oracle and returns all
+// reports. The oracle is Reset first.
+func RunOracle(o Oracle, items []interleave.Item) []core.Report {
+	o.Reset()
+	var out []core.Report
+	for _, it := range items {
+		out = append(out, o.Process(it.Ref, it.Ev)...)
+	}
+	return out
+}
+
+// Comparison scores a butterfly run against ground truth. Reports are
+// matched by the instruction they flag (trace.Ref): the butterfly
+// implementation may describe the same error differently (pass-1 LSOS check
+// vs pass-2 isolation check), but it must flag the same instruction.
+type Comparison struct {
+	// TruePositives are instructions flagged by both.
+	TruePositives []trace.Ref
+	// FalsePositives are instructions only the butterfly flagged.
+	FalsePositives []trace.Ref
+	// FalseNegatives are instructions only the ground truth flagged.
+	// Butterfly analysis guarantees this is empty (Theorems 6.1, 6.2).
+	FalseNegatives []trace.Ref
+	// MemAccesses is the denominator of the paper's false-positive rate.
+	MemAccesses int
+}
+
+// FPRate returns false positives as a fraction of memory accesses
+// (the paper's Figure 13 metric).
+func (c *Comparison) FPRate() float64 {
+	if c.MemAccesses == 0 {
+		return 0
+	}
+	return float64(len(c.FalsePositives)) / float64(c.MemAccesses)
+}
+
+// Compare matches butterfly reports against ground-truth reports by Ref.
+// Duplicate reports for one instruction collapse to one.
+func Compare(butterfly, truth []core.Report, memAccesses int) *Comparison {
+	bset := refSet(butterfly)
+	tset := refSet(truth)
+	c := &Comparison{MemAccesses: memAccesses}
+	for r := range bset {
+		if _, ok := tset[r]; ok {
+			c.TruePositives = append(c.TruePositives, r)
+		} else {
+			c.FalsePositives = append(c.FalsePositives, r)
+		}
+	}
+	for r := range tset {
+		if _, ok := bset[r]; !ok {
+			c.FalseNegatives = append(c.FalseNegatives, r)
+		}
+	}
+	sortRefs(c.TruePositives)
+	sortRefs(c.FalsePositives)
+	sortRefs(c.FalseNegatives)
+	return c
+}
+
+func refSet(rs []core.Report) map[trace.Ref]struct{} {
+	m := make(map[trace.Ref]struct{}, len(rs))
+	for _, r := range rs {
+		m[r.Ref] = struct{}{}
+	}
+	return m
+}
+
+func sortRefs(rs []trace.Ref) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		return a.Index < b.Index
+	})
+}

@@ -1,0 +1,71 @@
+package lifeguard
+
+import (
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/interleave"
+	"butterfly/internal/trace"
+)
+
+type stubOracle struct {
+	resets int
+	refs   []trace.Ref
+}
+
+func (s *stubOracle) Name() string { return "stub" }
+func (s *stubOracle) Reset()       { s.resets++; s.refs = nil }
+func (s *stubOracle) Process(ref trace.Ref, e trace.Event) []core.Report {
+	s.refs = append(s.refs, ref)
+	if e.Kind == trace.Jump {
+		return []core.Report{{Ref: ref, Ev: e, Code: "stub.err"}}
+	}
+	return nil
+}
+
+func TestRunOracle(t *testing.T) {
+	o := &stubOracle{}
+	items := []interleave.Item{
+		{Ref: trace.Ref{Epoch: 0, Thread: 0, Index: 0}, Ev: trace.Event{Kind: trace.Nop}},
+		{Ref: trace.Ref{Epoch: 0, Thread: 1, Index: 0}, Ev: trace.Event{Kind: trace.Jump, Addr: 1}},
+	}
+	reports := RunOracle(o, items)
+	if o.resets != 1 {
+		t.Fatal("oracle not reset")
+	}
+	if len(reports) != 1 || reports[0].Ref.Thread != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if len(o.refs) != 2 {
+		t.Fatalf("processed %d events", len(o.refs))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	r := func(l, th, i int) core.Report {
+		return core.Report{Ref: trace.Ref{Epoch: l, Thread: trace.ThreadID(th), Index: i}}
+	}
+	butterflyReports := []core.Report{r(0, 0, 1), r(0, 0, 1), r(1, 0, 0), r(2, 1, 3)}
+	truth := []core.Report{r(0, 0, 1), r(3, 0, 0)}
+	cmp := Compare(butterflyReports, truth, 200)
+	if len(cmp.TruePositives) != 1 || cmp.TruePositives[0] != (trace.Ref{Epoch: 0, Thread: 0, Index: 1}) {
+		t.Errorf("TPs = %v", cmp.TruePositives)
+	}
+	if len(cmp.FalsePositives) != 2 {
+		t.Errorf("FPs = %v", cmp.FalsePositives)
+	}
+	if len(cmp.FalseNegatives) != 1 || cmp.FalseNegatives[0] != (trace.Ref{Epoch: 3, Thread: 0, Index: 0}) {
+		t.Errorf("FNs = %v", cmp.FalseNegatives)
+	}
+	if got := cmp.FPRate(); got != 0.01 {
+		t.Errorf("FPRate = %v", got)
+	}
+	// Sorted output.
+	if len(cmp.FalsePositives) == 2 && cmp.FalsePositives[0].Epoch > cmp.FalsePositives[1].Epoch {
+		t.Error("FPs not sorted")
+	}
+	empty := Compare(nil, nil, 0)
+	if empty.FPRate() != 0 {
+		t.Error("empty comparison FP rate should be 0")
+	}
+}

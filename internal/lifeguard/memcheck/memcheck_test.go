@@ -1,0 +1,207 @@
+package memcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/trace"
+)
+
+func run(t *testing.T, tr *trace.Trace, h int) *core.Result {
+	t.Helper()
+	g, err := epoch.ChunkByCount(tr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (&core.Driver{LG: New(0)}).Run(g)
+}
+
+func flagged(res *core.Result) map[trace.Ref]bool {
+	m := map[trace.Ref]bool{}
+	for _, r := range res.Reports {
+		m[r.Ref] = true
+	}
+	return m
+}
+
+func TestInitializedReadClean(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Write(0x100, 16).Read(0x104, 4).
+		Build()
+	if res := run(t, tr, 8); len(res.Reports) != 0 {
+		t.Fatalf("initialized read flagged: %v", res.Reports)
+	}
+}
+
+func TestUninitializedReadFlagged(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Read(0x100, 4).
+		Build()
+	res := run(t, tr, 8)
+	if !flagged(res)[trace.Ref{Epoch: 0, Thread: 0, Index: 1}] {
+		t.Fatalf("uninitialized read not flagged: %v", res.Reports)
+	}
+}
+
+func TestReallocUndefines(t *testing.T) {
+	// Write, free, realloc: the fresh allocation's bytes are undefined
+	// even though they were written before.
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Write(0x100, 16).Free(0x100, 16).
+		Alloc(0x100, 16).Read(0x100, 4).
+		Build()
+	res := run(t, tr, 16)
+	if !flagged(res)[trace.Ref{Epoch: 0, Thread: 0, Index: 4}] {
+		t.Fatalf("read of recycled memory not flagged: %v", res.Reports)
+	}
+}
+
+func TestPartialInitialization(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Alloc(0x100, 16).Write(0x100, 8).
+		Read(0x100, 8). // fully defined — clean
+		Read(0x104, 8). // straddles the defined boundary — flagged
+		Read(0x108, 4). // fully undefined — flagged
+		Build()
+	res := run(t, tr, 16)
+	m := flagged(res)
+	if m[trace.Ref{Epoch: 0, Thread: 0, Index: 2}] {
+		t.Error("fully defined read flagged")
+	}
+	if !m[trace.Ref{Epoch: 0, Thread: 0, Index: 3}] {
+		t.Error("straddling read not flagged")
+	}
+	if !m[trace.Ref{Epoch: 0, Thread: 0, Index: 4}] {
+		t.Error("undefined read not flagged")
+	}
+}
+
+func TestCrossThreadDefinitionThroughSOS(t *testing.T) {
+	// Thread 0 initializes in epoch 0; thread 1 reads two epochs later.
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 8).Write(0x100, 8).Heartbeat().Nop(1).Heartbeat().Nop(1).
+		T(1).Nop(1).Heartbeat().Nop(1).Heartbeat().Read(0x100, 8).
+		Build()
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0)}).Run(g)
+	if len(res.Reports) != 0 {
+		t.Fatalf("strictly ordered initialized read flagged: %v", res.Reports)
+	}
+}
+
+func TestConcurrentUndefineFlagged(t *testing.T) {
+	// Thread 0 frees (undefines) while thread 1 reads in the same epoch.
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 8).Write(0x100, 8).Heartbeat().Nop(1).Heartbeat().Free(0x100, 8).
+		T(1).Nop(2).Heartbeat().Nop(1).Heartbeat().Read(0x100, 8).
+		Build()
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0)}).Run(g)
+	if !flagged(res)[trace.Ref{Epoch: 2, Thread: 1, Index: 0}] {
+		t.Fatalf("read racing a free not flagged: %v", res.Reports)
+	}
+}
+
+func TestHeapFilter(t *testing.T) {
+	tr := trace.NewBuilder(1).
+		T(0).Read(0x10, 4).Read(0x1000, 4).
+		Build()
+	g, err := epoch.ChunkByCount(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := (&core.Driver{LG: New(0x100)}).Run(g)
+	m := flagged(res)
+	if m[trace.Ref{Epoch: 0, Thread: 0, Index: 0}] {
+		t.Error("below-filter read flagged")
+	}
+	if !m[trace.Ref{Epoch: 0, Thread: 0, Index: 1}] {
+		t.Error("heap read of undefined memory not flagged")
+	}
+}
+
+func randomDefTrace(rng *rand.Rand, nthreads, perThread int) *trace.Trace {
+	b := trace.NewBuilder(nthreads)
+	chunks := []struct{ lo, size uint64 }{{0x100, 8}, {0x200, 16}}
+	for th := 0; th < nthreads; th++ {
+		b.T(trace.ThreadID(th))
+		for i := 0; i < perThread; i++ {
+			c := chunks[rng.Intn(len(chunks))]
+			off := uint64(rng.Intn(int(c.size - 3)))
+			switch rng.Intn(6) {
+			case 0:
+				b.Alloc(c.lo, c.size)
+			case 1:
+				b.Free(c.lo, c.size)
+			case 2, 3:
+				b.Read(c.lo+off, 4)
+			default:
+				b.Write(c.lo+off, 4)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestZeroFalseNegatives: for every valid ordering, every undefined read
+// the sequential oracle reports must be flagged by the butterfly MemCheck.
+func TestZeroFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for iter := 0; iter < 60; iter++ {
+		tr := randomDefTrace(rng, 2, 4)
+		g, err := epoch.ChunkByCount(tr, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := (&core.Driver{LG: New(0)}).Run(g)
+		m := flagged(res)
+		oracle := NewOracle(0)
+		interleave.Enumerate(g, func(o []interleave.Item) bool {
+			for _, rep := range lifeguard.RunOracle(oracle, o) {
+				if !m[rep.Ref] {
+					t.Errorf("iter %d: FALSE NEGATIVE: %v", iter, rep)
+					return false
+				}
+			}
+			return true
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func TestOracleBasics(t *testing.T) {
+	o := NewOracle(0)
+	p := func(k trace.Kind, addr, size uint64) []core.Report {
+		return o.Process(trace.Ref{}, trace.Event{Kind: k, Addr: addr, Size: size})
+	}
+	if got := p(trace.Read, 0x100, 4); len(got) != 1 || got[0].Code != CodeUndefRead {
+		t.Fatalf("undefined read: %v", got)
+	}
+	p(trace.Write, 0x100, 8)
+	if got := p(trace.Read, 0x100, 4); len(got) != 0 {
+		t.Fatalf("defined read flagged: %v", got)
+	}
+	p(trace.Alloc, 0x100, 8)
+	if got := p(trace.Read, 0x100, 4); len(got) != 1 {
+		t.Fatalf("read after realloc not flagged: %v", got)
+	}
+	if o.Process(trace.Ref{}, trace.Event{Kind: trace.Nop}) != nil {
+		t.Fatal("nop produced reports")
+	}
+	o.Reset()
+	if !o.Defined().Empty() {
+		t.Fatal("Reset did not clear")
+	}
+}

@@ -1,0 +1,62 @@
+package memcheck
+
+import (
+	"fmt"
+
+	"butterfly/internal/core"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// Oracle is the exact sequential MemCheck: it tracks defined bytes over a
+// serialized event stream and reports reads of undefined memory.
+type Oracle struct {
+	// FilterBelow matches Butterfly.FilterBelow.
+	FilterBelow uint64
+
+	defined *sets.IntervalSet
+}
+
+var _ lifeguard.Oracle = (*Oracle)(nil)
+
+// NewOracle returns a sequential MemCheck.
+func NewOracle(filterBelow uint64) *Oracle {
+	return &Oracle{FilterBelow: filterBelow, defined: sets.NewIntervalSet()}
+}
+
+// Name implements lifeguard.Oracle.
+func (o *Oracle) Name() string { return "memcheck-sequential" }
+
+// Reset implements lifeguard.Oracle.
+func (o *Oracle) Reset() { o.defined = sets.NewIntervalSet() }
+
+// Process implements lifeguard.Oracle.
+func (o *Oracle) Process(ref trace.Ref, e trace.Event) []core.Report {
+	switch e.Kind {
+	case trace.Read, trace.Write, trace.Alloc, trace.Free:
+		if e.Hi() <= o.FilterBelow {
+			return nil
+		}
+	default:
+		return nil
+	}
+	lo, hi := e.Lo(), e.Hi()
+	switch e.Kind {
+	case trace.Read:
+		if !o.defined.ContainsRange(lo, hi) {
+			return []core.Report{{
+				Ref: ref, Ev: e, Code: CodeUndefRead,
+				Detail: fmt.Sprintf("read of [%#x,%#x) sees uninitialized memory", lo, hi),
+			}}
+		}
+	case trace.Write:
+		o.defined.AddRange(lo, hi)
+	case trace.Alloc, trace.Free:
+		o.defined.RemoveRange(lo, hi)
+	}
+	return nil
+}
+
+// Defined exposes the current definedness metadata (for tests).
+func (o *Oracle) Defined() *sets.IntervalSet { return o.defined.Clone() }

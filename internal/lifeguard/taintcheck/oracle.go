@@ -1,0 +1,63 @@
+package taintcheck
+
+import (
+	"fmt"
+
+	"butterfly/internal/core"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// Oracle is the original sequential TaintCheck: exact taint propagation over
+// a single serialized event stream. Its reports are the true errors of that
+// ordering; the butterfly version must flag a superset (Theorem 6.2).
+type Oracle struct {
+	tainted sets.Set
+}
+
+var _ lifeguard.Oracle = (*Oracle)(nil)
+
+// NewOracle returns a sequential TaintCheck.
+func NewOracle() *Oracle { return &Oracle{tainted: sets.NewSet()} }
+
+// Name implements lifeguard.Oracle.
+func (o *Oracle) Name() string { return "taintcheck-sequential" }
+
+// Reset implements lifeguard.Oracle.
+func (o *Oracle) Reset() { o.tainted = sets.NewSet() }
+
+// Process implements lifeguard.Oracle.
+func (o *Oracle) Process(ref trace.Ref, e trace.Event) []core.Report {
+	switch e.Kind {
+	case trace.TaintSrc:
+		for a := e.Lo(); a < e.Hi(); a++ {
+			o.tainted.Add(a)
+		}
+	case trace.Untaint, trace.Write:
+		o.tainted.Remove(e.Addr)
+	case trace.AssignUn:
+		o.propagate(e.Addr, o.tainted.Has(e.Src1))
+	case trace.AssignBin:
+		o.propagate(e.Addr, o.tainted.Has(e.Src1) || o.tainted.Has(e.Src2))
+	case trace.Jump:
+		if o.tainted.Has(e.Addr) {
+			return []core.Report{{
+				Ref: ref, Ev: e, Code: CodeTaintedUse,
+				Detail: fmt.Sprintf("tainted value at %#x used as a critical value", e.Addr),
+			}}
+		}
+	}
+	return nil
+}
+
+func (o *Oracle) propagate(dst uint64, taint bool) {
+	if taint {
+		o.tainted.Add(dst)
+	} else {
+		o.tainted.Remove(dst)
+	}
+}
+
+// Tainted exposes the current taint set (for tests).
+func (o *Oracle) Tainted() sets.Set { return o.tainted.Clone() }

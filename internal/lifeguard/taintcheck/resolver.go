@@ -1,0 +1,202 @@
+package taintcheck
+
+import (
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// resolver implements the Check algorithm (§6.2, Algorithm 1) for one body
+// block: it resolves the taint status of a location at a given body position
+// by chasing transfer-function parents through the head, the body itself,
+// and the wings, under the configured termination condition.
+//
+// Phases (§6.2 "Reducing False Positives", Lemma 6.3): a chain may use
+// transfer functions from epochs l and l+1 freely; the moment it steps
+// through an epoch l−1 function it commits to the "first two epochs"
+// (l−1, l) and may never return to l+1. This encodes exactly the lemma's
+// three cases — taint via the first two epochs, via the last two, or via a
+// predecessor tainted in the first two reached through the last two — and
+// rules out impossible orderings such as an epoch l+1 taint flowing through
+// an epoch l−1 assignment. With TwoPhase disabled, all three epochs mix
+// freely (sound, strictly more false positives; kept as an ablation).
+type resolver struct {
+	tc    *Butterfly
+	body  *Summary
+	head  *Summary
+	wings []*Summary
+	// lsos is the set of addresses believed tainted at block entry
+	// (strongly ordered past + head conclusions).
+	lsos  sets.Set
+	steps int
+}
+
+// Resolution phase of a chain search.
+const (
+	phaseLate  = 1 // epochs l, l+1 (may still transition to phaseEarly)
+	phaseEarly = 2 // epochs l−1, l (committed)
+	phaseAll   = 3 // single-phase ablation: epochs l−1..l+1 freely
+)
+
+// pos orders instructions for the SC termination counters.
+type pos struct{ epoch, idx int }
+
+func (p pos) before(q pos) bool {
+	return p.epoch < q.epoch || (p.epoch == q.epoch && p.idx < q.idx)
+}
+
+// bounds maps each thread to the position its next followed transfer
+// function must strictly precede — the paper's per-thread counters enforcing
+// sequential order within every thread of the reconstructed chain.
+type bounds map[trace.ThreadID]pos
+
+func (b bounds) with(t trace.ThreadID, p pos) bounds {
+	nb := make(bounds, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	nb[t] = p
+	return nb
+}
+
+func (r *resolver) maxSteps() int {
+	if r.tc.MaxSteps > 0 {
+		return r.tc.MaxSteps
+	}
+	return 4096
+}
+
+// resolveUse resolves the status of location x used at body index useIdx.
+// local holds the already-resolved statuses of locations the body wrote
+// before useIdx (intra-thread propagation, including the ⊥ short-circuit).
+func (r *resolver) resolveUse(x uint64, useIdx int, local map[uint64]Status) Status {
+	var st Status
+	if s, ok := local[x]; ok {
+		// The last local write definitely precedes the use and shadows both
+		// the LSOS and any earlier own-thread function.
+		st = s
+	} else if r.lsos.Has(x) {
+		st = Bot
+	} else {
+		st = Top
+	}
+	if st == Bot {
+		return Bot
+	}
+	// A concurrent wing write to x may interleave between the local
+	// state above and the use.
+	return merge(st, r.wingTaint(x, useIdx))
+}
+
+// wingTaint reports whether some interleaving of wing transfer functions can
+// leave x tainted at the use. Only wing blocks can supply the *final* write
+// to x (own-thread writes are summarized by local state), so the top level
+// iterates wings only; deeper chain positions may pass through the head and
+// the body as well.
+func (r *resolver) wingTaint(x uint64, useIdx int) Status {
+	phase := phaseLate
+	if !r.tc.TwoPhase {
+		phase = phaseAll
+	}
+	bnds := bounds{r.body.thread: {r.body.epoch, useIdx}}
+	path := map[trace.Ref]bool{}
+	for _, blk := range r.wings {
+		if r.followBlock(blk, x, bnds, path, phase) == Bot {
+			return Bot
+		}
+	}
+	return Top
+}
+
+// searchLoc reports Bot if location x can be tainted at this chain position:
+// directly via the strongly ordered base, or through any allowed transfer
+// function in the window.
+func (r *resolver) searchLoc(x uint64, bnds bounds, path map[trace.Ref]bool, phase int) Status {
+	r.steps++
+	if r.steps > r.maxSteps() {
+		return Bot // budget exhausted: conservative
+	}
+	if r.lsos.Has(x) {
+		return Bot
+	}
+	if r.followBlock(r.body, x, bnds, path, phase) == Bot {
+		return Bot
+	}
+	if r.head != nil && r.followBlock(r.head, x, bnds, path, phase) == Bot {
+		return Bot
+	}
+	for _, blk := range r.wings {
+		if r.followBlock(blk, x, bnds, path, phase) == Bot {
+			return Bot
+		}
+	}
+	return Top
+}
+
+// followBlock tries every transfer function for x in one block, applying the
+// phase restriction and the termination condition.
+func (r *resolver) followBlock(blk *Summary, x uint64, bnds bounds, path map[trace.Ref]bool, phase int) Status {
+	l := r.body.epoch
+	nextPhase := phase
+	switch phase {
+	case phaseEarly:
+		if blk.epoch != l-1 && blk.epoch != l {
+			return Top
+		}
+	case phaseLate:
+		switch blk.epoch {
+		case l, l + 1:
+			// stay late
+		case l - 1:
+			nextPhase = phaseEarly // Lemma 6.3(3): commit to the first two epochs
+		default:
+			return Top
+		}
+	default: // phaseAll
+		if blk.epoch < l-1 || blk.epoch > l+1 {
+			return Top
+		}
+	}
+	for _, f := range blk.writes[x] {
+		if r.tc.SC {
+			// Per-thread counters: the followed function must occur strictly
+			// before the thread's current counter position.
+			p := pos{f.ref.Epoch, f.idx}
+			if b, ok := bnds[blk.thread]; ok && !p.before(b) {
+				continue
+			}
+			if r.evalTfn(f, bnds.with(blk.thread, p), path, nextPhase) == Bot {
+				return Bot
+			}
+		} else {
+			// Relaxed models: a parent may never be replaced by itself.
+			if path[f.ref] {
+				continue
+			}
+			path[f.ref] = true
+			st := r.evalTfn(f, bnds, path, nextPhase)
+			delete(path, f.ref)
+			if st == Bot {
+				return Bot
+			}
+		}
+	}
+	return Top
+}
+
+// evalTfn evaluates one transfer function under the current constraints:
+// x ← ⊥ is tainted, x ← ⊤ is clean, and x ← {a[, b]} is tainted if any
+// source can be tainted.
+func (r *resolver) evalTfn(f *tfn, bnds bounds, path map[trace.Ref]bool, phase int) Status {
+	switch f.kind {
+	case tfnTaint:
+		return Bot
+	case tfnUntaint:
+		return Top
+	}
+	for _, src := range f.sources() {
+		if r.searchLoc(src, bnds, path, phase) == Bot {
+			return Bot
+		}
+	}
+	return Top
+}

@@ -1,0 +1,140 @@
+package machine
+
+// Cache model: private per-core L1 data caches over a shared L2, with
+// write-invalidate coherence between the L1s, using the Table 1 parameters
+// (64 B lines; 64 KB 4-way L1D at 2 cycles; shared 8-way L2 at 6 cycles;
+// 90-cycle memory). The model provides latencies for the discrete-event
+// scheduler and hit/miss statistics for the performance model; correctness
+// of the analysis never depends on it.
+
+// Cache latencies in cycles (Table 1).
+const (
+	LatALU   = 1
+	LatL1Hit = 2
+	LatL2Hit = 6
+	LatMem   = 90
+	// LineBits is log2 of the 64-byte cache line size.
+	LineBits = 6
+)
+
+// setAssoc is one set-associative tag array with LRU replacement.
+type setAssoc struct {
+	setMask uint64
+	setBits uint
+	ways    int
+	// tags[set] holds way entries in LRU order (front = MRU); 0 = invalid,
+	// otherwise tag+1.
+	tags [][]uint64
+}
+
+func newSetAssoc(numSets, ways int) *setAssoc {
+	bits := uint(0)
+	for m := numSets - 1; m > 0; m >>= 1 {
+		bits++
+	}
+	c := &setAssoc{setMask: uint64(numSets - 1), setBits: bits, ways: ways, tags: make([][]uint64, numSets)}
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+func (c *setAssoc) split(line uint64) (set int, tag uint64) {
+	return int(line & c.setMask), (line >> c.setBits) + 1
+}
+
+// access looks up the line, updating LRU, and inserts on miss.
+// It reports whether the access hit.
+func (c *setAssoc) access(line uint64) bool {
+	set, tag := c.split(line)
+	ways := c.tags[set]
+	for i, v := range ways {
+		if v == tag {
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return true
+		}
+	}
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = tag
+	return false
+}
+
+// invalidate drops the line if present; reports whether it was present.
+func (c *setAssoc) invalidate(line uint64) bool {
+	set, tag := c.split(line)
+	ways := c.tags[set]
+	for i, v := range ways {
+		if v == tag {
+			copy(ways[i:], ways[i+1:])
+			ways[len(ways)-1] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// CacheStats aggregates hit/miss counters for a run.
+type CacheStats struct {
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	Invalidations    uint64
+}
+
+// hierarchy is the per-run cache state: one L1 per core, one shared L2.
+type hierarchy struct {
+	l1    []*setAssoc
+	l2    *setAssoc
+	stats CacheStats
+}
+
+func newHierarchy(cores int, cfg Config) *hierarchy {
+	h := &hierarchy{
+		l1: make([]*setAssoc, cores),
+		l2: newSetAssoc(cfg.L2Sets, cfg.L2Ways),
+	}
+	for i := range h.l1 {
+		h.l1[i] = newSetAssoc(cfg.L1Sets, cfg.L1Ways)
+	}
+	return h
+}
+
+// access charges one memory access of [lo, hi) by core t and returns its
+// latency. Writes invalidate other cores' L1 copies (cache coherence).
+// Multi-line accesses overlap their fills (hardware pipelines consecutive
+// line requests): the latency is the slowest line plus one cycle per extra
+// line.
+func (h *hierarchy) access(t int, lo, hi uint64, write bool) uint64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var lat, lines uint64
+	for line := lo >> LineBits; line <= (hi-1)>>LineBits; line++ {
+		var l uint64
+		if h.l1[t].access(line) {
+			h.stats.L1Hits++
+			l = LatL1Hit
+		} else {
+			h.stats.L1Misses++
+			if h.l2.access(line) {
+				h.stats.L2Hits++
+				l = LatL2Hit
+			} else {
+				h.stats.L2Misses++
+				l = LatMem
+			}
+		}
+		if l > lat {
+			lat = l
+		}
+		lines++
+		if write {
+			for u, l1 := range h.l1 {
+				if u != t && l1.invalidate(line) {
+					h.stats.Invalidations++
+				}
+			}
+		}
+	}
+	return lat + (lines - 1)
+}

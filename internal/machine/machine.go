@@ -1,0 +1,346 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"butterfly/internal/mem"
+	"butterfly/internal/trace"
+)
+
+// Config holds the simulated machine parameters (Table 1 defaults via
+// Table1Config).
+type Config struct {
+	// Threads is the application thread count (one in-order core each; the
+	// LBA platform adds one lifeguard core per application core, which the
+	// performance model accounts for).
+	Threads int
+	// Seed makes scheduling, heartbeat skew and visibility jitter
+	// deterministic.
+	Seed int64
+	// HeartbeatH is the paper's h: a heartbeat is issued after every
+	// h×Threads application instructions overall (footnote 4), without
+	// enforcing per-thread uniformity. Zero disables heartbeats.
+	HeartbeatH int
+	// SkewOps is the maximum heartbeat reception skew per thread, in
+	// instructions.
+	SkewOps int
+	// WriteDrain, when nonzero, models a relaxed memory system: a write's
+	// globally visible position may slip up to WriteDrain cycles later
+	// (bounded by the thread's next instruction — intra-thread dependences
+	// are always respected, matching §4.4's assumptions).
+	WriteDrain uint64
+	// Jitter adds 0..Jitter cycles of scheduling noise per operation,
+	// decorrelating threads the way real memory systems do.
+	Jitter int
+	// HeapBase and HeapSize place the simulated heap; addresses below
+	// HeapBase act as stack/globals for the heap-only AddrCheck filter.
+	HeapBase, HeapSize uint64
+	// Cache geometry (sets × ways, 64 B lines).
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+}
+
+// Table1Config returns the paper's machine parameters for a given
+// application thread count: 64 KB 4-way L1D; L2 of 2/4/8 MB (8-way) for
+// 4/8/16 cores (the LBA platform uses 2k cores for k application threads).
+func Table1Config(threads int) Config {
+	l2Bytes := 2 << 20
+	switch {
+	case threads >= 8:
+		l2Bytes = 8 << 20
+	case threads >= 4:
+		l2Bytes = 4 << 20
+	}
+	return Config{
+		Threads:    threads,
+		HeartbeatH: 64 << 10,
+		SkewOps:    32,
+		Jitter:     3,
+		HeapBase:   1 << 20,
+		HeapSize:   448 << 20, // 512 MB memory minus stack/globals
+		L1Sets:     (64 << 10) / 64 / 4,
+		L1Ways:     4,
+		L2Sets:     l2Bytes / 64 / 8,
+		L2Ways:     8,
+	}
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// Trace holds the per-thread event logs (with heartbeat markers) and
+	// the ground-truth globally visible order.
+	Trace *trace.Trace
+	// Cycles is the application completion time (max per-thread clock,
+	// barriers included).
+	Cycles uint64
+	// PerThread is each thread's final clock.
+	PerThread []uint64
+	// Busy is each thread's sum of operation latencies, excluding barrier
+	// waits — the time the thread would need on a dedicated core, and the
+	// unit the timesliced baseline serializes.
+	Busy []uint64
+	// Instructions counts executed application instructions (heartbeat
+	// markers excluded).
+	Instructions uint64
+	// MemAccesses counts Read/Write events.
+	MemAccesses uint64
+	// Stats holds the cache counters.
+	Stats CacheStats
+	// HeapPeak is the maximum concurrently allocated heap size.
+	HeapPeak uint64
+}
+
+// visEvent tracks an emitted event's position for ground-truth ordering.
+type visEvent struct {
+	thread  trace.ThreadID
+	index   int // index within the thread's trace (markers included)
+	vis     uint64
+	seq     uint64 // issue sequence for stable tie-breaking
+	isWrite bool
+}
+
+// Run executes the program on the simulated machine.
+func Run(p *Program, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Threads) != cfg.Threads {
+		return nil, fmt.Errorf("machine: program has %d threads, config %d", len(p.Threads), cfg.Threads)
+	}
+	T := cfg.Threads
+	if T == 0 {
+		return &Result{Trace: &trace.Trace{}}, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	heap := mem.NewArenaHeap(cfg.HeapBase, cfg.HeapSize, T)
+	caches := newHierarchy(T, cfg)
+	binding := make([]uint64, p.NumBuffers) // buffer -> base address (0 = unbound)
+
+	res := &Result{
+		Trace:     &trace.Trace{Threads: make([][]trace.Event, T)},
+		PerThread: make([]uint64, T),
+		Busy:      make([]uint64, T),
+	}
+	for t := range res.Trace.Threads {
+		res.Trace.Threads[t] = make([]trace.Event, 0, len(p.Threads[t])+len(p.Threads[t])/64+8)
+	}
+	events := make([]visEvent, 0, p.NumOps())
+	pc := make([]int, T)
+	clock := make([]uint64, T)
+	atBarrier := make([]bool, T)
+	owedBeats := make([]int, T) // heartbeat markers owed to each thread
+	beatSkew := make([]int, T)  // ops until the next owed marker lands
+	var seq uint64
+	nextBeat := uint64(0)
+	if cfg.HeartbeatH > 0 {
+		nextBeat = uint64(cfg.HeartbeatH) * uint64(T)
+	}
+
+	done := func(t int) bool { return pc[t] >= len(p.Threads[t]) }
+	emit := func(t int, e trace.Event, vis uint64, isWrite bool) {
+		idx := len(res.Trace.Threads[t])
+		res.Trace.Threads[t] = append(res.Trace.Threads[t], e)
+		if e.Kind != trace.Heartbeat {
+			events = append(events, visEvent{trace.ThreadID(t), idx, vis, seq, isWrite})
+			seq++
+		}
+	}
+
+	for {
+		// Pick the runnable thread with the smallest clock.
+		best := -1
+		for t := 0; t < T; t++ {
+			if done(t) || atBarrier[t] {
+				continue
+			}
+			if best == -1 || clock[t] < clock[best] {
+				best = t
+			}
+		}
+		if best == -1 {
+			// Everyone is done or waiting at a barrier.
+			allDone := true
+			waiting := false
+			for t := 0; t < T; t++ {
+				if !done(t) {
+					allDone = false
+				}
+				if atBarrier[t] {
+					waiting = true
+				}
+			}
+			if allDone && !waiting {
+				break
+			}
+			// Release the barrier if every unfinished thread is waiting.
+			release := true
+			for t := 0; t < T; t++ {
+				if !done(t) && !atBarrier[t] {
+					release = false
+				}
+			}
+			if !release || !waiting {
+				return nil, fmt.Errorf("machine: deadlock (finished threads while others wait at a barrier)")
+			}
+			var maxClock uint64
+			for t := 0; t < T; t++ {
+				if atBarrier[t] && clock[t] > maxClock {
+					maxClock = clock[t]
+				}
+			}
+			for t := 0; t < T; t++ {
+				if atBarrier[t] {
+					atBarrier[t] = false
+					clock[t] = maxClock
+				}
+			}
+			continue
+		}
+
+		t := best
+		op := p.Threads[t][pc[t]]
+		pc[t]++
+
+		var lat uint64 = LatALU
+		e := trace.Event{Kind: op.Kind}
+		isWrite := false
+		switch op.Kind {
+		case trace.Nop:
+			// compute instruction
+		case trace.BarrierEv:
+			atBarrier[t] = true
+			e.Cycle = clock[t]
+			emit(t, e, clock[t], false)
+			res.Instructions++
+			continue
+		case trace.Alloc:
+			base, err := heap.AllocFrom(t, op.Size)
+			if err != nil {
+				return nil, fmt.Errorf("machine: %s thread %d: %v", p.Name, t, err)
+			}
+			binding[op.Buf] = base
+			e.Addr, e.Size = base, op.Size
+			lat += uint64(20) // allocator metadata work
+			isWrite = true
+		case trace.Free:
+			base := binding[op.Buf]
+			if base == 0 {
+				return nil, fmt.Errorf("machine: %s thread %d: free of unbound buffer %d", p.Name, t, op.Buf)
+			}
+			size, err := heap.Free(base)
+			if err != nil {
+				return nil, fmt.Errorf("machine: %s thread %d: %v", p.Name, t, err)
+			}
+			// The binding is kept: a dangling pointer still points at the
+			// freed range, which is exactly what use-after-free workloads
+			// exercise. A later Alloc of the same buffer handle rebinds.
+			e.Addr, e.Size = base, size
+			lat += uint64(10)
+			isWrite = true
+		case trace.Read, trace.Write:
+			var base uint64
+			if op.Buf == NoBuffer {
+				base = op.Addr
+			} else {
+				base = binding[op.Buf]
+				if base == 0 {
+					return nil, fmt.Errorf("machine: %s thread %d: access to unbound buffer %d", p.Name, t, op.Buf)
+				}
+			}
+			e.Addr, e.Size = base+op.Off, op.Size
+			lat = caches.access(t, e.Addr, e.Addr+e.Size, op.Kind == trace.Write)
+			isWrite = op.Kind == trace.Write
+			res.MemAccesses++
+		case trace.TaintSrc, trace.Untaint, trace.AssignUn, trace.AssignBin, trace.Jump:
+			e.Addr, e.Size, e.Src1, e.Src2 = op.Addr, op.Size, op.Src1, op.Src2
+			if e.Size == 0 {
+				e.Size = 1
+			}
+			lat = caches.access(t, e.Addr, e.Addr+e.Size, op.Kind != trace.Jump)
+			isWrite = op.Kind != trace.Jump
+		default:
+			return nil, fmt.Errorf("machine: unsupported op kind %v", op.Kind)
+		}
+		if cfg.Jitter > 0 {
+			lat += uint64(rng.Intn(cfg.Jitter + 1))
+		}
+		clock[t] += lat
+		res.Busy[t] += lat
+		e.Cycle = clock[t]
+		vis := clock[t]
+		if isWrite && cfg.WriteDrain > 0 {
+			vis += uint64(rng.Int63n(int64(cfg.WriteDrain) + 1))
+		}
+		emit(t, e, vis, isWrite)
+		res.Instructions++
+
+		// Heartbeats: issue after every h×T instructions overall; each
+		// thread receives it with a small skew in instructions (§4.1).
+		if nextBeat > 0 && res.Instructions >= nextBeat {
+			nextBeat += uint64(cfg.HeartbeatH) * uint64(T)
+			for u := 0; u < T; u++ {
+				if done(u) {
+					// Finished threads take the marker immediately.
+					res.Trace.Threads[u] = append(res.Trace.Threads[u], trace.Event{Kind: trace.Heartbeat})
+					continue
+				}
+				if owedBeats[u] == 0 && cfg.SkewOps > 0 {
+					beatSkew[u] = rng.Intn(cfg.SkewOps + 1)
+				}
+				owedBeats[u]++
+			}
+		}
+		if owedBeats[t] > 0 {
+			if beatSkew[t] == 0 {
+				for ; owedBeats[t] > 0; owedBeats[t]-- {
+					res.Trace.Threads[t] = append(res.Trace.Threads[t], trace.Event{Kind: trace.Heartbeat})
+				}
+			} else {
+				beatSkew[t]--
+			}
+		}
+	}
+	// Flush owed heartbeat markers so every thread has equal counts.
+	for t := 0; t < T; t++ {
+		for ; owedBeats[t] > 0; owedBeats[t]-- {
+			res.Trace.Threads[t] = append(res.Trace.Threads[t], trace.Event{Kind: trace.Heartbeat})
+		}
+	}
+
+	// Ground truth: order events by visible time, respecting program order
+	// (a write's visibility may slip, but never past the thread's next
+	// instruction — enforce by a backward monotonicity pass per thread).
+	last := make(map[trace.ThreadID]uint64, T)
+	for i := len(events) - 1; i >= 0; i-- {
+		ev := &events[i]
+		if v, ok := last[ev.thread]; ok && ev.vis > v {
+			ev.vis = v
+		}
+		last[ev.thread] = ev.vis
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].vis != events[j].vis {
+			return events[i].vis < events[j].vis
+		}
+		return events[i].seq < events[j].seq
+	})
+	res.Trace.Global = make([]trace.GlobalRef, len(events))
+	for i, ev := range events {
+		res.Trace.Global[i] = trace.GlobalRef{Thread: ev.thread, Index: ev.index}
+	}
+
+	for t := 0; t < T; t++ {
+		res.PerThread[t] = clock[t]
+		if clock[t] > res.Cycles {
+			res.Cycles = clock[t]
+		}
+	}
+	res.Stats = caches.stats
+	res.HeapPeak = heap.Peak()
+	if err := res.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: produced inconsistent trace: %v", err)
+	}
+	return res, nil
+}

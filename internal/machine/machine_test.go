@@ -1,0 +1,264 @@
+package machine
+
+import (
+	"testing"
+
+	"butterfly/internal/epoch"
+	"butterfly/internal/trace"
+)
+
+func smallConfig(threads int) Config {
+	cfg := Table1Config(threads)
+	cfg.HeartbeatH = 16
+	cfg.SkewOps = 2
+	cfg.HeapBase = 0x1000
+	cfg.HeapSize = 1 << 20
+	return cfg
+}
+
+func TestProgramValidate(t *testing.T) {
+	b := NewBuilder("x", 2)
+	buf := b.NewBuffer()
+	b.Alloc(0, buf, 64).Barrier().Read(1, buf, 0, 4)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() != 4 || p.NumBuffers != 1 {
+		t.Fatalf("ops=%d bufs=%d", p.NumOps(), p.NumBuffers)
+	}
+	// Mismatched barriers rejected.
+	bad := &Program{Name: "bad", Threads: [][]Op{
+		{{Kind: trace.BarrierEv, Buf: NoBuffer}},
+		{},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unequal barriers accepted")
+	}
+	// Out-of-range buffer rejected.
+	bad2 := &Program{Name: "bad2", NumBuffers: 1, Threads: [][]Op{{{Kind: trace.Read, Buf: 3}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("bad buffer accepted")
+	}
+}
+
+func TestRunBindsBuffersAndOrdersBarriers(t *testing.T) {
+	b := NewBuilder("handoff", 2)
+	buf := b.NewBuffer()
+	b.Alloc(0, buf, 64).Write(0, buf, 0, 8)
+	b.Nop(1, 3)
+	b.Barrier()
+	b.Read(1, buf, 0, 8)
+	b.Barrier()
+	b.Free(0, buf)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The alloc must precede the thread-1 read in ground truth, and the
+	// read must precede the free (barrier ordering).
+	var allocPos, readPos, freePos = -1, -1, -1
+	for i, g := range res.Trace.Global {
+		switch e := res.Trace.At(g); {
+		case e.Kind == trace.Alloc:
+			allocPos = i
+		case e.Kind == trace.Read && g.Thread == 1:
+			readPos = i
+		case e.Kind == trace.Free:
+			freePos = i
+		}
+	}
+	if !(allocPos < readPos && readPos < freePos) {
+		t.Fatalf("barrier ordering broken: alloc@%d read@%d free@%d", allocPos, readPos, freePos)
+	}
+	// Read and write hit the same (bound) address.
+	var wAddr, rAddr uint64
+	for _, e := range res.Trace.Threads[0] {
+		if e.Kind == trace.Write {
+			wAddr = e.Addr
+		}
+	}
+	for _, e := range res.Trace.Threads[1] {
+		if e.Kind == trace.Read {
+			rAddr = e.Addr
+		}
+	}
+	if wAddr == 0 || wAddr != rAddr {
+		t.Fatalf("buffer binding mismatch: write %#x read %#x", wAddr, rAddr)
+	}
+	if res.MemAccesses != 2 || res.Instructions != uint64(p.NumOps()) {
+		t.Fatalf("counters: mem=%d instr=%d", res.MemAccesses, res.Instructions)
+	}
+	if res.Cycles == 0 || res.HeapPeak != 64 {
+		t.Fatalf("cycles=%d peak=%d", res.Cycles, res.HeapPeak)
+	}
+}
+
+func TestRunHeartbeatsChunk(t *testing.T) {
+	b := NewBuilder("beats", 2)
+	for t0 := 0; t0 < 2; t0++ {
+		buf := b.NewBuffer()
+		b.Alloc(t0, buf, 256)
+		for i := 0; i < 100; i++ {
+			b.Write(t0, buf, uint64(i%256), 1)
+		}
+		b.Free(t0, buf)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := epoch.ChunkByHeartbeat(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEpochs() < 3 {
+		t.Fatalf("expected multiple epochs, got %d", g.NumEpochs())
+	}
+	if g.TotalEvents() != p.NumOps() {
+		t.Fatalf("chunked events %d, want %d", g.TotalEvents(), p.NumOps())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b := NewBuilder("det", 3)
+	for t0 := 0; t0 < 3; t0++ {
+		buf := b.NewBuffer()
+		b.Alloc(t0, buf, 128)
+		for i := 0; i < 50; i++ {
+			b.Write(t0, buf, uint64(i), 1)
+			b.Read(t0, buf, uint64(i), 1)
+		}
+		b.Free(t0, buf)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(p, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || len(r1.Trace.Global) != len(r2.Trace.Global) {
+		t.Fatal("same seed must reproduce identical runs")
+	}
+	for i := range r1.Trace.Global {
+		if r1.Trace.Global[i] != r2.Trace.Global[i] {
+			t.Fatalf("ground truth differs at %d", i)
+		}
+	}
+	cfg3 := smallConfig(3)
+	cfg3.Seed = 99
+	r3, err := Run(p, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(r3.Trace.Global) == len(r1.Trace.Global)
+	if same {
+		diff := false
+		for i := range r1.Trace.Global {
+			if r1.Trace.Global[i] != r3.Trace.Global[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Log("warning: different seed produced identical interleaving (possible but unlikely)")
+		}
+	}
+}
+
+func TestRunRelaxedVisibilityStillProgramOrdered(t *testing.T) {
+	b := NewBuilder("relaxed", 2)
+	for t0 := 0; t0 < 2; t0++ {
+		buf := b.NewBuffer()
+		b.Alloc(t0, buf, 64)
+		for i := 0; i < 30; i++ {
+			b.Write(t0, buf, uint64(i), 1)
+		}
+		b.Free(t0, buf)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(2)
+	cfg.WriteDrain = 200
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("relaxed run broke program order: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// Access to an unbound buffer.
+	b := NewBuilder("unbound", 1)
+	buf := b.NewBuffer()
+	b.Read(0, buf, 0, 4)
+	p, _ := b.Build()
+	if _, err := Run(p, smallConfig(1)); err == nil {
+		t.Error("unbound access accepted")
+	}
+	// Thread-count mismatch.
+	b2 := NewBuilder("mismatch", 2)
+	b2.Nop(0, 1).Nop(1, 1)
+	p2, _ := b2.Build()
+	if _, err := Run(p2, smallConfig(3)); err == nil {
+		t.Error("thread mismatch accepted")
+	}
+	// Heap exhaustion surfaces as an error.
+	b3 := NewBuilder("oom", 1)
+	big := b3.NewBuffer()
+	b3.Alloc(0, big, 1<<30)
+	p3, _ := b3.Build()
+	if _, err := Run(p3, smallConfig(1)); err == nil {
+		t.Error("OOM not surfaced")
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	cfg := smallConfig(2)
+	h := newHierarchy(2, cfg)
+	// Cold miss then hit.
+	lat1 := h.access(0, 0x1000, 0x1004, false)
+	lat2 := h.access(0, 0x1000, 0x1004, false)
+	if lat1 <= lat2 {
+		t.Fatalf("cold access (%d) should cost more than hot (%d)", lat1, lat2)
+	}
+	if h.stats.L1Misses != 1 || h.stats.L1Hits != 1 {
+		t.Fatalf("stats: %+v", h.stats)
+	}
+	// A write by core 1 invalidates core 0's copy.
+	h.access(1, 0x1000, 0x1004, true)
+	if h.stats.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", h.stats.Invalidations)
+	}
+	lat3 := h.access(0, 0x1000, 0x1004, false)
+	if lat3 < LatL2Hit {
+		t.Fatalf("post-invalidate access should miss L1 (lat %d)", lat3)
+	}
+	// Multi-line access costs more than single-line.
+	single := h.access(0, 0x2000, 0x2004, false)
+	multi := h.access(0, 0x3000, 0x3000+256, false)
+	if multi <= single {
+		t.Fatalf("multi-line %d should cost more than single %d", multi, single)
+	}
+}

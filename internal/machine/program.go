@@ -1,0 +1,160 @@
+// Package machine simulates the evaluation platform of §7: a shared-memory
+// CMP running a multithreaded application whose per-thread instruction
+// streams are captured as logs (the LBA model), with heartbeat markers
+// inserted every h instructions per thread.
+//
+// The simulator executes an abstract Program (per-thread operation lists
+// over buffer handles and barriers) with a discrete-event scheduler: at each
+// step the runnable thread with the smallest clock issues its next
+// operation, whose latency comes from a two-level cache model with the
+// Table 1 parameters. The run produces per-thread event traces (with
+// heartbeats), a ground-truth globally visible order for false-positive
+// scoring, per-thread cycle counts for the performance model, and cache
+// statistics.
+package machine
+
+import (
+	"fmt"
+
+	"butterfly/internal/trace"
+)
+
+// NoBuffer marks an operation using an absolute address instead of a heap
+// buffer handle.
+const NoBuffer = -1
+
+// Op is one abstract application operation. Memory operands are expressed
+// against buffer handles so the simulated allocator can bind concrete
+// addresses at execution time (allocation order depends on scheduling).
+type Op struct {
+	Kind trace.Kind
+	// Buf is the buffer handle operated on (Alloc/Free/Read/Write), or
+	// NoBuffer for absolute addressing.
+	Buf int
+	// Off is the byte offset within the buffer for Read/Write.
+	Off uint64
+	// Size is the allocation or access size in bytes.
+	Size uint64
+	// Addr is the absolute address when Buf == NoBuffer (also the
+	// destination of taint/assign operations).
+	Addr uint64
+	// Src1, Src2 are absolute source addresses for assignments.
+	Src1, Src2 uint64
+}
+
+// Program is a deterministic multithreaded workload.
+type Program struct {
+	Name string
+	// Threads[t] is thread t's operation list. BarrierEv operations
+	// synchronize: every thread must reach its k-th barrier before any
+	// proceeds past it, so all threads must contain the same number of
+	// barriers.
+	Threads [][]Op
+	// NumBuffers is the number of distinct buffer handles used.
+	NumBuffers int
+}
+
+// NumOps returns the total operation count.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, th := range p.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// Validate checks structural invariants: equal barrier counts and buffer
+// handles in range.
+func (p *Program) Validate() error {
+	barriers := -1
+	for t, th := range p.Threads {
+		nb := 0
+		for i, op := range th {
+			if op.Kind == trace.BarrierEv {
+				nb++
+			}
+			if op.Buf != NoBuffer && (op.Buf < 0 || op.Buf >= p.NumBuffers) {
+				return fmt.Errorf("machine: %s thread %d op %d: buffer %d out of range", p.Name, t, i, op.Buf)
+			}
+			if op.Kind == trace.Heartbeat {
+				return fmt.Errorf("machine: %s thread %d op %d: programs must not contain heartbeats", p.Name, t, i)
+			}
+		}
+		if barriers == -1 {
+			barriers = nb
+		} else if nb != barriers {
+			return fmt.Errorf("machine: %s thread %d has %d barriers, thread 0 has %d", p.Name, t, nb, barriers)
+		}
+	}
+	return nil
+}
+
+// Builder assembles Programs; used by the workload generators in
+// internal/apps.
+type Builder struct {
+	p   Program
+	buf int
+}
+
+// NewBuilder returns a builder for a program with the given thread count.
+func NewBuilder(name string, threads int) *Builder {
+	return &Builder{p: Program{Name: name, Threads: make([][]Op, threads)}}
+}
+
+// NewBuffer reserves a fresh buffer handle.
+func (b *Builder) NewBuffer() int {
+	h := b.buf
+	b.buf++
+	return h
+}
+
+// Add appends an op to thread t.
+func (b *Builder) Add(t int, op Op) *Builder {
+	b.p.Threads[t] = append(b.p.Threads[t], op)
+	return b
+}
+
+// Alloc appends an allocation of buffer buf with the given size on thread t.
+func (b *Builder) Alloc(t, buf int, size uint64) *Builder {
+	return b.Add(t, Op{Kind: trace.Alloc, Buf: buf, Size: size})
+}
+
+// Free appends a deallocation of buffer buf on thread t.
+func (b *Builder) Free(t, buf int) *Builder {
+	return b.Add(t, Op{Kind: trace.Free, Buf: buf})
+}
+
+// Read appends a read of size bytes at buf+off on thread t.
+func (b *Builder) Read(t, buf int, off, size uint64) *Builder {
+	return b.Add(t, Op{Kind: trace.Read, Buf: buf, Off: off, Size: size})
+}
+
+// Write appends a write of size bytes at buf+off on thread t.
+func (b *Builder) Write(t, buf int, off, size uint64) *Builder {
+	return b.Add(t, Op{Kind: trace.Write, Buf: buf, Off: off, Size: size})
+}
+
+// Nop appends n compute (non-memory) instructions on thread t.
+func (b *Builder) Nop(t, n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.Add(t, Op{Kind: trace.Nop, Buf: NoBuffer})
+	}
+	return b
+}
+
+// Barrier appends a barrier to every thread.
+func (b *Builder) Barrier() *Builder {
+	for t := range b.p.Threads {
+		b.Add(t, Op{Kind: trace.BarrierEv, Buf: NoBuffer})
+	}
+	return b
+}
+
+// Build finalizes the program.
+func (b *Builder) Build() (*Program, error) {
+	b.p.NumBuffers = b.buf
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return &b.p, nil
+}

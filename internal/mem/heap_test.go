@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHeapAllocFree(t *testing.T) {
+	h := NewHeap(0x1000, 0x100)
+	a, err := h.Alloc(16)
+	if err != nil || a != 0x1000 {
+		t.Fatalf("first alloc = %#x, %v", a, err)
+	}
+	b, err := h.Alloc(16)
+	if err != nil || b != 0x1010 {
+		t.Fatalf("second alloc = %#x, %v", b, err)
+	}
+	if h.InUse() != 32 || h.Live() != 2 || h.Peak() != 32 {
+		t.Fatalf("accounting: inuse=%d live=%d peak=%d", h.InUse(), h.Live(), h.Peak())
+	}
+	if h.SizeOf(a) != 16 || h.SizeOf(0x9999) != 0 {
+		t.Fatal("SizeOf wrong")
+	}
+	size, err := h.Free(a)
+	if err != nil || size != 16 {
+		t.Fatalf("free = %d, %v", size, err)
+	}
+	// First fit reuses the hole.
+	c, err := h.Alloc(8)
+	if err != nil || c != 0x1000 {
+		t.Fatalf("reuse alloc = %#x, %v", c, err)
+	}
+	if _, err := h.Free(0x1004); err == nil {
+		t.Fatal("free of non-base address accepted")
+	}
+	if _, err := h.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc accepted")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	h := NewHeap(0, 64)
+	if _, err := h.Alloc(65); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+	a, _ := h.Alloc(64)
+	if _, err := h.Alloc(1); err == nil {
+		t.Fatal("alloc from full heap accepted")
+	}
+	h.Free(a)
+	if _, err := h.Alloc(64); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestHeapRandomizedNoOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	h := NewHeap(0x10000, 1<<16)
+	live := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			size := uint64(1 + rng.Intn(256))
+			base, err := h.Alloc(size)
+			if err != nil {
+				// Free something and retry later.
+				for b := range live {
+					h.Free(b)
+					delete(live, b)
+					break
+				}
+				continue
+			}
+			// No overlap with any live allocation.
+			for b, s := range live {
+				if base < b+s && b < base+size {
+					t.Fatalf("overlap: new [%#x,%#x) vs live [%#x,%#x)", base, base+size, b, b+s)
+				}
+			}
+			live[base] = size
+		} else {
+			for b := range live {
+				if _, err := h.Free(b); err != nil {
+					t.Fatalf("free failed: %v", err)
+				}
+				delete(live, b)
+				break
+			}
+		}
+	}
+	var want uint64
+	for _, s := range live {
+		want += s
+	}
+	if h.InUse() != want || h.Live() != len(live) {
+		t.Fatalf("accounting drift: inuse=%d want %d", h.InUse(), want)
+	}
+}

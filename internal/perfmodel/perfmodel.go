@@ -1,0 +1,263 @@
+// Package perfmodel estimates lifeguard execution time on the simulated LBA
+// platform, reproducing the mechanisms the paper's performance results
+// (Figures 11 and 12) come from:
+//
+//   - every log event costs dispatch work in the lifeguard;
+//   - a metadata check costs a base amount plus a penalty when the shadow
+//     translation misses the metadata TLB. The *sequential* (timesliced)
+//     lifeguard consumes the interleaving of all application threads, so
+//     its metadata locality — and with it the TLB hit rate — degrades as
+//     threads are added; each butterfly lifeguard thread processes a single
+//     thread's stream and keeps its locality. This is the structural reason
+//     parallel monitoring scales;
+//   - the timesliced application itself runs interleaved on one core (sum
+//     of per-thread busy cycles);
+//   - the butterfly lifeguard additionally pays, per monitored event,
+//     first-pass recording (the paper measured 7–10 instructions) and a
+//     second-pass re-check, plus per-epoch costs: a summary/meet step and
+//     two barrier synchronizations (one per pass), with each pass gated by
+//     the slowest thread in the epoch;
+//   - the LBA idempotent filter drops repeated events within an epoch
+//     (flushed at epoch boundaries, footnote 5), so temporal reuse lowers
+//     the check cost; streaming workloads get no relief;
+//   - processing a (false) positive is expensive — enough of them erase the
+//     amortization benefit of large epochs (the paper's OCEAN anomaly);
+//   - the application stalls when the log buffer fills, so completion time
+//     is the maximum of application time and lifeguard time.
+package perfmodel
+
+import (
+	"butterfly/internal/epoch"
+	"butterfly/internal/machine"
+	"butterfly/internal/shadow"
+	"butterfly/internal/trace"
+)
+
+// CostModel holds the lifeguard cost parameters in cycles.
+type CostModel struct {
+	// Dispatch is the per-event log decode/dispatch cost (every event, both
+	// designs).
+	Dispatch uint64
+	// Check is the metadata check cost per monitored, filter-admitted event
+	// when the metadata TLB hits.
+	Check uint64
+	// TLBMiss is the extra shadow-translation walk cost on a metadata TLB
+	// miss.
+	TLBMiss uint64
+	// TLBEntries sizes the metadata TLB (power of two).
+	TLBEntries int
+	// Record is the butterfly first-pass cost of recording a monitored
+	// event for the second pass (§7.2: roughly 7–10 instructions).
+	Record uint64
+	// SecondPass is the butterfly second-pass re-check cost per
+	// filter-admitted event.
+	SecondPass uint64
+	// EpochFixed is the per-thread fixed cost per epoch (summary
+	// construction, SOS update share).
+	EpochFixed uint64
+	// MeetPerWing is the cost of folding one wing summary during the meet.
+	MeetPerWing uint64
+	// Barrier is one inter-thread barrier synchronization.
+	Barrier uint64
+	// Report is the cost of materializing and handling one reported
+	// (usually false) positive.
+	Report uint64
+	// FilterCap is the event capacity of the sequential lifeguard's
+	// idempotent filter: it is flushed after this many events, modeling the
+	// finite hardware structure (the butterfly filter is flushed at epoch
+	// boundaries instead).
+	FilterCap int
+}
+
+// Default returns the calibrated cost model.
+func Default() CostModel {
+	return CostModel{
+		Dispatch:    1,
+		Check:       10,
+		TLBMiss:     45,
+		TLBEntries:  8,
+		Record:      9,
+		SecondPass:  8,
+		EpochFixed:  150,
+		MeetPerWing: 40,
+		Barrier:     150,
+		Report:      2500,
+		FilterCap:   8192,
+	}
+}
+
+// monitored reports whether AddrCheck inspects this event (heap-only).
+func monitored(e trace.Event, heapBase uint64) bool {
+	switch e.Kind {
+	case trace.Read, trace.Write, trace.Alloc, trace.Free:
+		return e.Hi() > heapBase
+	}
+	return false
+}
+
+// filterClass maps an event to an idempotent-filter class.
+func filterClass(k trace.Kind) byte {
+	switch k {
+	case trace.Read:
+		return 1
+	case trace.Write:
+		return 2
+	default:
+		return 0 // alloc/free are never filtered
+	}
+}
+
+// checkCost charges one metadata check against a TLB.
+func (cm CostModel) checkCost(tlb *shadow.TLB, addr uint64) uint64 {
+	if tlb.Touch(addr) {
+		return cm.Check
+	}
+	return cm.Check + cm.TLBMiss
+}
+
+// Timesliced estimates the completion time of the state-of-the-art
+// baseline: all application threads timesliced on one core (sum of busy
+// cycles) monitored by one sequential lifeguard on another core, connected
+// by a log buffer (completion = max of the two). The lifeguard consumes the
+// *interleaved* stream, so its metadata TLB sees all threads' address
+// streams mixed together.
+func Timesliced(res *machine.Result, cm CostModel, heapBase uint64) uint64 {
+	app := uint64(0)
+	for _, b := range res.Busy {
+		app += b
+	}
+	filter := shadow.NewIdempotentFilter()
+	tlb, err := shadow.NewTLB(cm.TLBEntries)
+	if err != nil {
+		panic(err)
+	}
+	var lg uint64
+	n := 0
+	charge := func(e trace.Event) {
+		lg += cm.eventCostSequential(e, filter, tlb, heapBase)
+		n++
+		if cm.FilterCap > 0 && n%cm.FilterCap == 0 {
+			filter.Flush()
+		}
+	}
+	if res.Trace.Global != nil {
+		for _, g := range res.Trace.Global {
+			charge(res.Trace.At(g))
+		}
+	} else {
+		for _, th := range res.Trace.Threads {
+			for _, e := range th {
+				if e.Kind != trace.Heartbeat {
+					charge(e)
+				}
+			}
+		}
+	}
+	return max64(app, lg)
+}
+
+func (cm CostModel) eventCostSequential(e trace.Event, filter *shadow.IdempotentFilter, tlb *shadow.TLB, heapBase uint64) uint64 {
+	c := cm.Dispatch
+	if !monitored(e, heapBase) {
+		return c
+	}
+	cls := filterClass(e.Kind)
+	if cls != 0 && !filter.Admit(cls, e.Addr) {
+		return c
+	}
+	return c + cm.checkCost(tlb, e.Addr)
+}
+
+// ButterflyResult breaks down the butterfly estimate.
+type ButterflyResult struct {
+	// Total is the completion time: max(application, lifeguard).
+	Total uint64
+	// Lifeguard is the parallel lifeguard's completion time.
+	Lifeguard uint64
+	// App is the parallel application's completion time.
+	App uint64
+	// FilterRate is the fraction of monitored accesses the idempotent
+	// filter dropped.
+	FilterRate float64
+	// ReportCost is the portion of Lifeguard spent handling positives.
+	ReportCost uint64
+}
+
+// Butterfly estimates the completion time of butterfly-analysis monitoring:
+// the application runs in parallel (machine cycles) while each lifeguard
+// thread processes its own log in two passes per epoch, with per-pass
+// barriers, meet costs, and positive-handling costs. reports is the number
+// of positives the butterfly AddrCheck raised on this trace.
+func Butterfly(res *machine.Result, g *epoch.Grid, reports int, cm CostModel, heapBase uint64) ButterflyResult {
+	T := g.NumThreads
+	var lg uint64
+	filters := make([]*shadow.IdempotentFilter, T)
+	tlbs := make([]*shadow.TLB, T)
+	for t := range filters {
+		filters[t] = shadow.NewIdempotentFilter()
+		tlb, err := shadow.NewTLB(cm.TLBEntries)
+		if err != nil {
+			panic(err)
+		}
+		tlbs[t] = tlb
+	}
+	for l := 0; l < g.NumEpochs(); l++ {
+		var pass1Max, pass2Max uint64
+		for t := 0; t < T; t++ {
+			blk := g.Block(l, trace.ThreadID(t))
+			var p1, p2 uint64
+			for _, e := range blk.Events {
+				p1 += cm.Dispatch
+				if !monitored(e, heapBase) {
+					continue
+				}
+				// Recording for the second pass happens for every monitored
+				// event — the wing summaries need complete access sets — so
+				// the idempotent filter only saves the check work.
+				p1 += cm.Record
+				cls := filterClass(e.Kind)
+				if cls != 0 && !filters[t].Admit(cls, e.Addr) {
+					continue
+				}
+				p1 += cm.checkCost(tlbs[t], e.Addr)
+				p2 += cm.SecondPass
+			}
+			filters[t].Flush() // never filter across epochs
+			if p1 > pass1Max {
+				pass1Max = p1
+			}
+			if p2 > pass2Max {
+				pass2Max = p2
+			}
+		}
+		meet := cm.MeetPerWing * uint64(3*(T-1))
+		lg += pass1Max + cm.Barrier + meet + pass2Max + cm.Barrier + cm.EpochFixed
+	}
+	reportCost := uint64(reports) * cm.Report
+	lg += reportCost
+
+	var passed, filtered uint64
+	for _, f := range filters {
+		p, fl := f.Stats()
+		passed += p
+		filtered += fl
+	}
+	rate := 0.0
+	if passed+filtered > 0 {
+		rate = float64(filtered) / float64(passed+filtered)
+	}
+	return ButterflyResult{
+		Total:      max64(res.Cycles, lg),
+		Lifeguard:  lg,
+		App:        res.Cycles,
+		FilterRate: rate,
+		ReportCost: reportCost,
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"butterfly/internal/apps"
+	"butterfly/internal/epoch"
+	"butterfly/internal/machine"
+	"butterfly/internal/trace"
+)
+
+func runApp(t *testing.T, name string, threads, h int) (*machine.Result, *epoch.Grid, machine.Config) {
+	t.Helper()
+	app, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Build(apps.Params{Threads: threads, TargetOps: 20000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Table1Config(threads)
+	cfg.HeartbeatH = h
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := epoch.ChunkByHeartbeat(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, g, cfg
+}
+
+func TestTimeslicedAtLeastAppBound(t *testing.T) {
+	res, _, cfg := runApp(t, "fft", 4, 512)
+	cm := Default()
+	ts := Timesliced(res, cm, cfg.HeapBase)
+	var busy uint64
+	for _, b := range res.Busy {
+		busy += b
+	}
+	if ts < busy {
+		t.Fatalf("timesliced %d below serialized app %d", ts, busy)
+	}
+	// More expensive checks can only slow it down.
+	cm2 := cm
+	cm2.Check *= 10
+	if Timesliced(res, cm2, cfg.HeapBase) < ts {
+		t.Fatal("raising check cost made timesliced faster")
+	}
+}
+
+func TestButterflyBreakdown(t *testing.T) {
+	res, g, cfg := runApp(t, "ocean", 4, 512)
+	cm := Default()
+	b := Butterfly(res, g, 0, cm, cfg.HeapBase)
+	if b.Total != max64(b.App, b.Lifeguard) {
+		t.Fatal("total is not max(app, lifeguard)")
+	}
+	if b.App != res.Cycles {
+		t.Fatal("app time mismatch")
+	}
+	if b.FilterRate < 0 || b.FilterRate > 1 {
+		t.Fatalf("filter rate %v out of range", b.FilterRate)
+	}
+	if b.ReportCost != 0 {
+		t.Fatal("no reports should mean no report cost")
+	}
+	// Reports add their cost linearly.
+	b2 := Butterfly(res, g, 100, cm, cfg.HeapBase)
+	if b2.Lifeguard != b.Lifeguard+100*cm.Report {
+		t.Fatalf("report cost wrong: %d vs %d + 100×%d", b2.Lifeguard, b.Lifeguard, cm.Report)
+	}
+}
+
+func TestButterflyScalesWithThreads(t *testing.T) {
+	// The same total work split across more threads must lower the
+	// butterfly lifeguard's completion time (its central property).
+	lgTime := func(threads int) uint64 {
+		app, err := apps.ByName("fft")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := app.Build(apps.Params{Threads: threads, TargetOps: 40000 / threads, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := machine.Table1Config(threads)
+		cfg.HeartbeatH = 512
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := epoch.ChunkByHeartbeat(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Butterfly(res, g, 0, Default(), cfg.HeapBase).Lifeguard
+	}
+	t2, t8 := lgTime(2), lgTime(8)
+	if t8 >= t2 {
+		t.Fatalf("butterfly lifeguard did not speed up: 2 threads %d, 8 threads %d", t2, t8)
+	}
+}
+
+func TestTimeslicedFlatWithThreads(t *testing.T) {
+	// The sequential lifeguard sees the same total events regardless of
+	// thread count; its time must not improve with threads (it may degrade
+	// via TLB thrash).
+	tsTime := func(threads int) uint64 {
+		app, err := apps.ByName("barnes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := app.Build(apps.Params{Threads: threads, TargetOps: 40000 / threads, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := machine.Table1Config(threads)
+		cfg.HeartbeatH = 512
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Timesliced(res, Default(), cfg.HeapBase)
+	}
+	t2, t8 := tsTime(2), tsTime(8)
+	if float64(t8) < float64(t2)*0.9 {
+		t.Fatalf("timesliced improved with threads: 2→%d, 8→%d", t2, t8)
+	}
+}
+
+func TestMonitoredAndFilterClass(t *testing.T) {
+	base := uint64(0x1000)
+	if !monitored(trace.Event{Kind: trace.Read, Addr: 0x2000, Size: 4}, base) {
+		t.Error("heap read should be monitored")
+	}
+	if monitored(trace.Event{Kind: trace.Read, Addr: 0x10, Size: 4}, base) {
+		t.Error("stack read should be filtered")
+	}
+	if monitored(trace.Event{Kind: trace.Nop}, base) {
+		t.Error("nop should not be monitored")
+	}
+	if !monitored(trace.Event{Kind: trace.Free, Addr: 0x2000, Size: 16}, base) {
+		t.Error("heap free should be monitored")
+	}
+	if filterClass(trace.Read) == 0 || filterClass(trace.Write) == 0 {
+		t.Error("accesses must be filterable")
+	}
+	if filterClass(trace.Alloc) != 0 || filterClass(trace.Free) != 0 {
+		t.Error("alloc/free must never be filtered")
+	}
+}

@@ -1,0 +1,278 @@
+package sets
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open byte range [Lo, Hi) over the simulated address
+// space. Intervals with Hi <= Lo are empty.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Empty reports whether the interval contains no bytes.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Len returns the number of bytes in the interval.
+func (iv Interval) Len() uint64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether addr lies inside the interval.
+func (iv Interval) Contains(addr uint64) bool { return iv.Lo <= addr && addr < iv.Hi }
+
+// Overlaps reports whether two intervals share at least one byte.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Empty() && !o.Empty() && iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%#x,%#x)", iv.Lo, iv.Hi) }
+
+// IntervalSet is a set of bytes represented as sorted, coalesced,
+// non-overlapping half-open intervals. The zero value is an empty set ready
+// to use.
+type IntervalSet struct {
+	ivs []Interval // sorted by Lo; non-overlapping; non-adjacent (coalesced)
+}
+
+// NewIntervalSet returns a set containing the given intervals.
+func NewIntervalSet(ivs ...Interval) *IntervalSet {
+	s := &IntervalSet{}
+	for _, iv := range ivs {
+		s.AddRange(iv.Lo, iv.Hi)
+	}
+	return s
+}
+
+// Clone returns an independent copy of s.
+func (s *IntervalSet) Clone() *IntervalSet {
+	c := &IntervalSet{ivs: make([]Interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}
+
+// Empty reports whether the set contains no bytes.
+func (s *IntervalSet) Empty() bool { return len(s.ivs) == 0 }
+
+// NumIntervals returns the number of maximal intervals in the set.
+func (s *IntervalSet) NumIntervals() int { return len(s.ivs) }
+
+// Bytes returns the total number of bytes covered.
+func (s *IntervalSet) Bytes() uint64 {
+	var n uint64
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Intervals returns a copy of the underlying intervals in ascending order.
+func (s *IntervalSet) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// search returns the index of the first interval with Hi > lo, i.e. the first
+// interval that could overlap or follow an interval starting at lo.
+func (s *IntervalSet) search(lo uint64) int {
+	return sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > lo })
+}
+
+// AddRange inserts [lo, hi) into the set, coalescing as needed.
+func (s *IntervalSet) AddRange(lo, hi uint64) {
+	if hi <= lo {
+		return
+	}
+	// First interval that overlaps or touches [lo, hi) on the left: Hi >= lo.
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi >= lo })
+	// Collect the run of intervals [i, j) that overlap or touch [lo, hi).
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Lo <= hi {
+		j++
+	}
+	if i < j {
+		if s.ivs[i].Lo < lo {
+			lo = s.ivs[i].Lo
+		}
+		if s.ivs[j-1].Hi > hi {
+			hi = s.ivs[j-1].Hi
+		}
+	}
+	merged := Interval{lo, hi}
+	switch {
+	case i == j:
+		// Pure insertion: shift the tail right by one.
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[i+1:], s.ivs[i:])
+		s.ivs[i] = merged
+	case j == i+1:
+		// Replace in place.
+		s.ivs[i] = merged
+	default:
+		// Replace i..j with one interval: shift the tail left.
+		s.ivs[i] = merged
+		s.ivs = append(s.ivs[:i+1], s.ivs[j:]...)
+	}
+}
+
+// Add inserts the interval iv.
+func (s *IntervalSet) Add(iv Interval) { s.AddRange(iv.Lo, iv.Hi) }
+
+// RemoveRange deletes [lo, hi) from the set, splitting intervals as needed.
+func (s *IntervalSet) RemoveRange(lo, hi uint64) {
+	if hi <= lo || len(s.ivs) == 0 {
+		return
+	}
+	i := s.search(lo)
+	var out []Interval
+	out = append(out, s.ivs[:i]...)
+	for k := i; k < len(s.ivs); k++ {
+		iv := s.ivs[k]
+		if iv.Lo >= hi {
+			out = append(out, s.ivs[k:]...)
+			break
+		}
+		// iv overlaps [lo,hi); keep the non-overlapping pieces.
+		if iv.Lo < lo {
+			out = append(out, Interval{iv.Lo, lo})
+		}
+		if iv.Hi > hi {
+			out = append(out, Interval{hi, iv.Hi})
+		}
+	}
+	s.ivs = out
+}
+
+// Contains reports whether addr is in the set.
+func (s *IntervalSet) Contains(addr uint64) bool {
+	i := s.search(addr)
+	return i < len(s.ivs) && s.ivs[i].Contains(addr)
+}
+
+// ContainsRange reports whether every byte of [lo, hi) is in the set.
+// An empty range is trivially contained.
+func (s *IntervalSet) ContainsRange(lo, hi uint64) bool {
+	if hi <= lo {
+		return true
+	}
+	i := s.search(lo)
+	return i < len(s.ivs) && s.ivs[i].Lo <= lo && hi <= s.ivs[i].Hi
+}
+
+// OverlapsRange reports whether any byte of [lo, hi) is in the set.
+func (s *IntervalSet) OverlapsRange(lo, hi uint64) bool {
+	if hi <= lo {
+		return false
+	}
+	i := s.search(lo)
+	return i < len(s.ivs) && s.ivs[i].Lo < hi
+}
+
+// Union returns a new set holding s ∪ o.
+func (s *IntervalSet) Union(o *IntervalSet) *IntervalSet {
+	c := s.Clone()
+	for _, iv := range o.ivs {
+		c.AddRange(iv.Lo, iv.Hi)
+	}
+	return c
+}
+
+// UnionInPlace adds every interval of o to s.
+func (s *IntervalSet) UnionInPlace(o *IntervalSet) {
+	for _, iv := range o.ivs {
+		s.AddRange(iv.Lo, iv.Hi)
+	}
+}
+
+// Subtract returns a new set holding s − o.
+func (s *IntervalSet) Subtract(o *IntervalSet) *IntervalSet {
+	c := s.Clone()
+	for _, iv := range o.ivs {
+		c.RemoveRange(iv.Lo, iv.Hi)
+	}
+	return c
+}
+
+// Intersect returns a new set holding s ∩ o.
+func (s *IntervalSet) Intersect(o *IntervalSet) *IntervalSet {
+	c := &IntervalSet{}
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		a, b := s.ivs[i], o.ivs[j]
+		lo := max64(a.Lo, b.Lo)
+		hi := min64(a.Hi, b.Hi)
+		if lo < hi {
+			c.ivs = append(c.ivs, Interval{lo, hi})
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return c
+}
+
+// Intersects reports whether s ∩ o is nonempty.
+func (s *IntervalSet) Intersects(o *IntervalSet) bool {
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		a, b := s.ivs[i], o.ivs[j]
+		if a.Lo < b.Hi && b.Lo < a.Hi {
+			return true
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o cover exactly the same bytes.
+func (s *IntervalSet) Equal(o *IntervalSet) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a list of intervals for debugging.
+func (s *IntervalSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, iv := range s.ivs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(iv.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

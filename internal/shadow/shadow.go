@@ -1,0 +1,202 @@
+// Package shadow implements the lifeguard metadata substrate: a sparse
+// two-level shadow memory keeping fine-grained state per application byte,
+// plus the two LBA hardware accelerators the paper's evaluation uses (§7.1):
+// a metadata TLB that caches shadow-page translations, and an idempotent
+// filter that drops repeated events within an epoch (flushed at epoch
+// boundaries so events are never filtered across epochs — footnote 5).
+package shadow
+
+import "fmt"
+
+const (
+	// PageBits is the log2 of the shadow page size in bytes.
+	PageBits = 12
+	// PageSize is the number of application bytes mapped by one shadow page.
+	PageSize = 1 << PageBits
+	pageMask = PageSize - 1
+)
+
+type page [PageSize]byte
+
+// Memory is a sparse shadow memory holding one metadata byte per
+// application byte. The zero value is ready to use; unmapped addresses read
+// as 0. It is not safe for concurrent mutation.
+type Memory struct {
+	pages map[uint64]*page
+	// Mapped counts distinct shadow pages materialized (capacity metric).
+	mapped int
+}
+
+// NewMemory returns an empty shadow memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> PageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+		m.mapped++
+	}
+	return p
+}
+
+// Get returns the metadata byte for addr (0 if unmapped).
+func (m *Memory) Get(addr uint64) byte {
+	if p := m.pageFor(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// Set stores the metadata byte for addr.
+func (m *Memory) Set(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr&pageMask] = v
+}
+
+// SetRange stores v for every byte of [lo, hi).
+func (m *Memory) SetRange(lo, hi uint64, v byte) {
+	for a := lo; a < hi; {
+		p := m.pageFor(a, true)
+		end := (a &^ uint64(pageMask)) + PageSize
+		if end > hi {
+			end = hi
+		}
+		for ; a < end; a++ {
+			p[a&pageMask] = v
+		}
+	}
+}
+
+// AllEqual reports whether every byte of [lo, hi) equals v. An empty range
+// is vacuously true.
+func (m *Memory) AllEqual(lo, hi uint64, v byte) bool {
+	for a := lo; a < hi; a++ {
+		if m.Get(a) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyEqual reports whether some byte of [lo, hi) equals v.
+func (m *Memory) AnyEqual(lo, hi uint64, v byte) bool {
+	for a := lo; a < hi; a++ {
+		if m.Get(a) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MappedPages returns the number of shadow pages materialized so far.
+func (m *Memory) MappedPages() int { return m.mapped }
+
+// TLB models the LBA metadata TLB: a small direct-mapped cache of shadow
+// page translations. Only the hit/miss statistics matter to the performance
+// model; correctness never depends on it.
+type TLB struct {
+	entries []uint64 // page number + 1; 0 = invalid
+	hits    uint64
+	misses  uint64
+}
+
+// NewTLB returns a TLB with the given number of entries (must be a power of
+// two).
+func NewTLB(entries int) (*TLB, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("shadow: TLB entries must be a positive power of two, got %d", entries)
+	}
+	return &TLB{entries: make([]uint64, entries)}, nil
+}
+
+// Touch looks up the shadow page for addr, recording a hit or miss.
+// It returns true on hit.
+func (t *TLB) Touch(addr uint64) bool {
+	pn := addr >> PageBits
+	slot := pn & uint64(len(t.entries)-1)
+	if t.entries[slot] == pn+1 {
+		t.hits++
+		return true
+	}
+	t.entries[slot] = pn + 1
+	t.misses++
+	return false
+}
+
+// Stats returns cumulative hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// HitRate returns hits / (hits + misses), or 0 with no accesses.
+func (t *TLB) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}
+
+// Flush invalidates all entries (statistics are preserved).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = 0
+	}
+}
+
+// FilterGranularity is the byte granularity at which the idempotent filter
+// coalesces repeated accesses (one 64-byte cache line, as in LBA).
+const FilterGranularity = 64
+
+// IdempotentFilter models LBA's idempotent filtering accelerator: within an
+// epoch, repeated events of the same class on the same block are redundant
+// for monitoring and can be dropped. The paper flushes the filter at every
+// epoch boundary so that events are never filtered across epochs.
+type IdempotentFilter struct {
+	seen     map[filterKey]struct{}
+	passed   uint64
+	filtered uint64
+}
+
+type filterKey struct {
+	class byte
+	block uint64
+}
+
+// NewIdempotentFilter returns an empty filter.
+func NewIdempotentFilter() *IdempotentFilter {
+	return &IdempotentFilter{seen: make(map[filterKey]struct{})}
+}
+
+// Admit reports whether an event of the given class touching addr should be
+// processed (true) or dropped as redundant within this epoch (false).
+func (f *IdempotentFilter) Admit(class byte, addr uint64) bool {
+	k := filterKey{class, addr / FilterGranularity}
+	if _, ok := f.seen[k]; ok {
+		f.filtered++
+		return false
+	}
+	f.seen[k] = struct{}{}
+	f.passed++
+	return true
+}
+
+// Flush clears the filter at an epoch boundary (statistics preserved).
+func (f *IdempotentFilter) Flush() {
+	for k := range f.seen {
+		delete(f.seen, k)
+	}
+}
+
+// Stats returns how many events passed and how many were filtered.
+func (f *IdempotentFilter) Stats() (passed, filtered uint64) { return f.passed, f.filtered }
+
+// FilterRate returns filtered / (passed + filtered), or 0 with no events.
+func (f *IdempotentFilter) FilterRate() float64 {
+	total := f.passed + f.filtered
+	if total == 0 {
+		return 0
+	}
+	return float64(f.filtered) / float64(total)
+}

@@ -1,0 +1,147 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryGetSet(t *testing.T) {
+	m := NewMemory()
+	if m.Get(0x1234) != 0 {
+		t.Fatal("unmapped read should be 0")
+	}
+	m.Set(0x1234, 7)
+	if m.Get(0x1234) != 7 {
+		t.Fatal("set/get mismatch")
+	}
+	if m.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d", m.MappedPages())
+	}
+	// Reads never materialize pages.
+	m.Get(1 << 40)
+	if m.MappedPages() != 1 {
+		t.Fatal("read materialized a page")
+	}
+}
+
+func TestMemorySetRangeAcrossPages(t *testing.T) {
+	m := NewMemory()
+	lo := uint64(PageSize - 10)
+	hi := uint64(PageSize + 10)
+	m.SetRange(lo, hi, 3)
+	if !m.AllEqual(lo, hi, 3) {
+		t.Fatal("range not fully set")
+	}
+	if m.Get(lo-1) != 0 || m.Get(hi) != 0 {
+		t.Fatal("range write leaked outside bounds")
+	}
+	if m.MappedPages() != 2 {
+		t.Fatalf("MappedPages = %d, want 2", m.MappedPages())
+	}
+	if !m.AnyEqual(0, PageSize*2, 3) || m.AnyEqual(0, lo, 3) {
+		t.Fatal("AnyEqual wrong")
+	}
+	if !m.AllEqual(5, 5, 9) {
+		t.Fatal("empty range should be vacuously AllEqual")
+	}
+}
+
+func TestMemoryMatchesMapModel(t *testing.T) {
+	type op struct {
+		Addr uint16
+		Len  uint8
+		V    byte
+	}
+	f := func(ops []op) bool {
+		m := NewMemory()
+		ref := map[uint64]byte{}
+		for _, o := range ops {
+			lo := uint64(o.Addr)
+			hi := lo + uint64(o.Len%32)
+			m.SetRange(lo, hi, o.V)
+			for a := lo; a < hi; a++ {
+				ref[a] = o.V
+			}
+		}
+		for a := uint64(0); a < 1<<16; a += 97 {
+			if m.Get(a) != ref[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	if _, err := NewTLB(0); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := NewTLB(3); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	tlb, err := NewTLB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Touch(0) {
+		t.Error("first touch should miss")
+	}
+	if !tlb.Touch(8) { // same page
+		t.Error("same-page touch should hit")
+	}
+	// Conflicting page (same slot, different page).
+	if tlb.Touch(uint64(4 * PageSize)) {
+		t.Error("conflicting page should miss")
+	}
+	if tlb.Touch(0) {
+		t.Error("evicted page should miss")
+	}
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	if r := tlb.HitRate(); r != 0.25 {
+		t.Fatalf("HitRate = %v", r)
+	}
+	tlb.Flush()
+	if tlb.Touch(8) {
+		t.Error("touch after flush should miss")
+	}
+	empty, _ := NewTLB(2)
+	if empty.HitRate() != 0 {
+		t.Error("empty TLB hit rate should be 0")
+	}
+}
+
+func TestIdempotentFilter(t *testing.T) {
+	f := NewIdempotentFilter()
+	if !f.Admit(1, 100) {
+		t.Error("first event should pass")
+	}
+	if f.Admit(1, 101) { // same cache-line block, same class
+		t.Error("repeat within block should be filtered")
+	}
+	if !f.Admit(2, 100) { // different class passes
+		t.Error("different class should pass")
+	}
+	if !f.Admit(1, 100+FilterGranularity) { // different block passes
+		t.Error("different block should pass")
+	}
+	f.Flush()
+	if !f.Admit(1, 100) {
+		t.Error("after flush, event should pass again (never filter across epochs)")
+	}
+	passed, filtered := f.Stats()
+	if passed != 4 || filtered != 1 {
+		t.Fatalf("stats = %d/%d", passed, filtered)
+	}
+	if r := f.FilterRate(); r != 0.2 {
+		t.Fatalf("FilterRate = %v", r)
+	}
+	if NewIdempotentFilter().FilterRate() != 0 {
+		t.Error("empty filter rate should be 0")
+	}
+}

@@ -1,0 +1,42 @@
+// Package timeslice implements the paper's state-of-the-art baseline
+// ("Timesliced Monitoring" in Figure 11): all application threads are
+// interleaved on a single core and monitored by one *sequential* lifeguard
+// running on a separate core. The lifeguard consumes a single serialized
+// event stream — here the machine's ground-truth interleaving — so it is
+// exact (no false positives), but it cannot exploit parallelism: its time
+// grows with the total event count, and the application itself runs
+// serialized.
+package timeslice
+
+import (
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/interleave"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/machine"
+	"butterfly/internal/perfmodel"
+)
+
+// Result is one timesliced-monitoring run.
+type Result struct {
+	// Reports are the sequential lifeguard's findings (exact: these are the
+	// ground-truth errors).
+	Reports []core.Report
+	// Time is the modeled completion time in cycles: the maximum of the
+	// serialized application and the sequential lifeguard.
+	Time uint64
+}
+
+// Run executes the baseline over a machine result: it serializes the trace
+// by the ground-truth order, feeds it to the sequential oracle, and models
+// completion time.
+func Run(res *machine.Result, g *epoch.Grid, o lifeguard.Oracle, cm perfmodel.CostModel, heapBase uint64) (*Result, error) {
+	items, err := interleave.FromGlobal(g, res.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Reports: lifeguard.RunOracle(o, items),
+		Time:    perfmodel.Timesliced(res, cm, heapBase),
+	}, nil
+}

@@ -1,0 +1,78 @@
+package timeslice
+
+import (
+	"testing"
+
+	"butterfly/internal/apps"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/machine"
+	"butterfly/internal/perfmodel"
+	"butterfly/internal/trace"
+)
+
+func TestRunBaseline(t *testing.T) {
+	app, err := apps.ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Build(apps.Params{Threads: 4, TargetOps: 10000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.Table1Config(4)
+	cfg.HeartbeatH = 512
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := epoch.ChunkByHeartbeat(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(res, g, addrcheck.NewOracle(cfg.HeapBase), perfmodel.Default(), cfg.HeapBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workload is race-free: the exact sequential lifeguard must be
+	// silent.
+	if len(out.Reports) != 0 {
+		t.Fatalf("baseline flagged a race-free workload: %v", out.Reports[0])
+	}
+	if out.Time == 0 {
+		t.Fatal("zero modeled time")
+	}
+}
+
+func TestRunDetectsRealBug(t *testing.T) {
+	// Hand-built trace with ground truth containing a use-after-free.
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 16).Free(0x100, 16).
+		T(1).Read(0x100, 4).
+		Build()
+	tr.Global = []trace.GlobalRef{{Thread: 0, Index: 0}, {Thread: 0, Index: 1}, {Thread: 1, Index: 0}}
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &machine.Result{Trace: tr, Busy: []uint64{10, 10}}
+	out, err := Run(res, g, addrcheck.NewOracle(0), perfmodel.Default(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reports) != 1 || out.Reports[0].Code != addrcheck.CodeUnallocAccess {
+		t.Fatalf("baseline should find exactly the use-after-free, got %v", out.Reports)
+	}
+}
+
+func TestRunRequiresGroundTruth(t *testing.T) {
+	tr := trace.NewBuilder(1).T(0).Write(1, 1).Build()
+	g, err := epoch.ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &machine.Result{Trace: tr, Busy: []uint64{1}}
+	if _, err := Run(res, g, addrcheck.NewOracle(0), perfmodel.Default(), 0); err == nil {
+		t.Fatal("missing ground truth accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+// Builder constructs traces fluently; it exists for tests, examples and the
+// figure-reproduction scenarios, where hand-built per-thread event sequences
+// (like the paper's Figures 2, 4, 9 and 10) are common.
+type Builder struct {
+	tr  Trace
+	cur ThreadID
+}
+
+// NewBuilder returns a builder with nthreads empty threads, positioned at
+// thread 0.
+func NewBuilder(nthreads int) *Builder {
+	return &Builder{tr: Trace{Threads: make([][]Event, nthreads)}}
+}
+
+// T selects the thread subsequent events are appended to.
+func (b *Builder) T(t ThreadID) *Builder {
+	if int(t) < 0 || int(t) >= len(b.tr.Threads) {
+		panic("trace: Builder.T out of range")
+	}
+	b.cur = t
+	return b
+}
+
+func (b *Builder) emit(e Event) *Builder {
+	b.tr.Threads[b.cur] = append(b.tr.Threads[b.cur], e)
+	return b
+}
+
+// Nop appends n no-op instructions.
+func (b *Builder) Nop(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.emit(Event{Kind: Nop})
+	}
+	return b
+}
+
+// Read appends a read of [addr, addr+size).
+func (b *Builder) Read(addr, size uint64) *Builder {
+	return b.emit(Event{Kind: Read, Addr: addr, Size: size})
+}
+
+// Write appends a write of [addr, addr+size).
+func (b *Builder) Write(addr, size uint64) *Builder {
+	return b.emit(Event{Kind: Write, Addr: addr, Size: size})
+}
+
+// Alloc appends an allocation of [addr, addr+size).
+func (b *Builder) Alloc(addr, size uint64) *Builder {
+	return b.emit(Event{Kind: Alloc, Addr: addr, Size: size})
+}
+
+// Free appends a deallocation of [addr, addr+size).
+func (b *Builder) Free(addr, size uint64) *Builder {
+	return b.emit(Event{Kind: Free, Addr: addr, Size: size})
+}
+
+// Taint appends a taint source covering [addr, addr+size).
+func (b *Builder) Taint(addr, size uint64) *Builder {
+	return b.emit(Event{Kind: TaintSrc, Addr: addr, Size: size})
+}
+
+// Untaint appends an untainting constant assignment to addr.
+func (b *Builder) Untaint(addr uint64) *Builder {
+	return b.emit(Event{Kind: Untaint, Addr: addr, Size: 1})
+}
+
+// Unop appends dst := unop(src).
+func (b *Builder) Unop(dst, src uint64) *Builder {
+	return b.emit(Event{Kind: AssignUn, Addr: dst, Src1: src})
+}
+
+// Binop appends dst := binop(src1, src2).
+func (b *Builder) Binop(dst, src1, src2 uint64) *Builder {
+	return b.emit(Event{Kind: AssignBin, Addr: dst, Src1: src1, Src2: src2})
+}
+
+// Jump appends a critical use of the value at addr.
+func (b *Builder) Jump(addr uint64) *Builder {
+	return b.emit(Event{Kind: Jump, Addr: addr, Size: 1})
+}
+
+// Lock appends an acquisition of the lock identified by id.
+func (b *Builder) Lock(id uint64) *Builder {
+	return b.emit(Event{Kind: Lock, Addr: id, Size: 1})
+}
+
+// Unlock appends a release of the lock identified by id.
+func (b *Builder) Unlock(id uint64) *Builder {
+	return b.emit(Event{Kind: Unlock, Addr: id, Size: 1})
+}
+
+// Heartbeat appends an epoch-boundary marker.
+func (b *Builder) Heartbeat() *Builder { return b.emit(Event{Kind: Heartbeat}) }
+
+// Build returns the constructed trace. The builder must not be reused.
+func (b *Builder) Build() *Trace { return &b.tr }

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format:
+//
+//	magic "BFLY1" | uvarint nthreads
+//	per thread:   uvarint nevents | events
+//	event:        kind byte | uvarint addr | uvarint size | uvarint src1 |
+//	              uvarint src2 | uvarint cycle
+//	ground truth: uvarint n (0 = none) | n × (uvarint thread, uvarint index)
+//
+// The format is self-contained and stream-decodable; cmd/tracegen writes it
+// and cmd/butterfly-run reads it.
+
+const binaryMagic = "BFLY1"
+
+// WriteBinary encodes tr to w in the binary trace format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(tr.Threads))); err != nil {
+		return err
+	}
+	for _, th := range tr.Threads {
+		if err := putUvarint(uint64(len(th))); err != nil {
+			return err
+		}
+		for _, e := range th {
+			if err := bw.WriteByte(byte(e.Kind)); err != nil {
+				return err
+			}
+			for _, v := range [...]uint64{e.Addr, e.Size, e.Src1, e.Src2, e.Cycle} {
+				if err := putUvarint(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := putUvarint(uint64(len(tr.Global))); err != nil {
+		return err
+	}
+	for _, g := range tr.Global {
+		if err := putUvarint(uint64(g.Thread)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(g.Index)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	nthreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	if nthreads > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable thread count %d", nthreads)
+	}
+	tr := &Trace{Threads: make([][]Event, nthreads)}
+	for t := range tr.Threads {
+		nev, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread %d event count: %w", t, err)
+		}
+		// Do not trust the claimed count for allocation: grow as data
+		// actually arrives, so a forged header cannot exhaust memory.
+		capHint := nev
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		evs := make([]Event, 0, capHint)
+		for i := uint64(0); i < nev; i++ {
+			kb, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d event %d kind: %w", t, i, err)
+			}
+			if Kind(kb) >= numKinds {
+				return nil, fmt.Errorf("trace: thread %d event %d: bad kind %d", t, i, kb)
+			}
+			var e Event
+			e.Kind = Kind(kb)
+			for _, dst := range [...]*uint64{&e.Addr, &e.Size, &e.Src1, &e.Src2, &e.Cycle} {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("trace: thread %d event %d field: %w", t, i, err)
+				}
+				*dst = v
+			}
+			evs = append(evs, e)
+		}
+		tr.Threads[t] = evs
+	}
+	nglobal, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: ground truth count: %w", err)
+	}
+	if nglobal > 0 {
+		capHint := nglobal
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		tr.Global = make([]GlobalRef, 0, capHint)
+		for i := uint64(0); i < nglobal; i++ {
+			th, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: ground truth %d thread: %w", i, err)
+			}
+			idx, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: ground truth %d index: %w", i, err)
+			}
+			tr.Global = append(tr.Global, GlobalRef{ThreadID(th), int(idx)})
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// WriteText encodes tr in a line-oriented human-readable format:
+//
+//	thread <t>
+//	<kind> <addr> <size> [<src1> [<src2>]]
+//	...
+//	global
+//	<thread> <index>
+//
+// Numbers are hexadecimal with 0x prefix for addresses, decimal otherwise.
+func WriteText(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for t, th := range tr.Threads {
+		fmt.Fprintf(bw, "thread %d\n", t)
+		for _, e := range th {
+			switch e.Kind {
+			case AssignUn:
+				fmt.Fprintf(bw, "%s %#x %#x\n", e.Kind, e.Addr, e.Src1)
+			case AssignBin:
+				fmt.Fprintf(bw, "%s %#x %#x %#x\n", e.Kind, e.Addr, e.Src1, e.Src2)
+			case Nop, Heartbeat, BarrierEv:
+				fmt.Fprintf(bw, "%s\n", e.Kind)
+			default:
+				fmt.Fprintf(bw, "%s %#x %d\n", e.Kind, e.Addr, e.Size)
+			}
+		}
+	}
+	if tr.Global != nil {
+		fmt.Fprintln(bw, "global")
+		for _, g := range tr.Global {
+			fmt.Fprintf(bw, "%d %d\n", g.Thread, g.Index)
+		}
+	}
+	return bw.Flush()
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ReadText parses the format written by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var cur *[]Event
+	inGlobal := false
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "thread":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: bad thread header", lineno)
+			}
+			tr.Threads = append(tr.Threads, nil)
+			cur = &tr.Threads[len(tr.Threads)-1]
+			inGlobal = false
+		case fields[0] == "global":
+			inGlobal = true
+		case inGlobal:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: bad global ref", lineno)
+			}
+			t, err1 := strconv.Atoi(fields[0])
+			i, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("trace: line %d: bad global ref %q", lineno, line)
+			}
+			tr.Global = append(tr.Global, GlobalRef{ThreadID(t), i})
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("trace: line %d: event before thread header", lineno)
+			}
+			k, ok := kindByName[fields[0]]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineno, fields[0])
+			}
+			e := Event{Kind: k}
+			parse := func(s string) (uint64, error) { return strconv.ParseUint(s, 0, 64) }
+			var err error
+			switch k {
+			case AssignUn:
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("trace: line %d: unop wants 2 args", lineno)
+				}
+				if e.Addr, err = parse(fields[1]); err == nil {
+					e.Src1, err = parse(fields[2])
+				}
+			case AssignBin:
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("trace: line %d: binop wants 3 args", lineno)
+				}
+				if e.Addr, err = parse(fields[1]); err == nil {
+					if e.Src1, err = parse(fields[2]); err == nil {
+						e.Src2, err = parse(fields[3])
+					}
+				}
+			case Nop, Heartbeat, BarrierEv:
+				if len(fields) != 1 {
+					return nil, fmt.Errorf("trace: line %d: %s wants no args", lineno, k)
+				}
+			default:
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("trace: line %d: %s wants addr and size", lineno, k)
+				}
+				if e.Addr, err = parse(fields[1]); err == nil {
+					e.Size, err = parse(fields[2])
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+			*cur = append(*cur, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus under plain `go test` and can be
+// explored further with `go test -fuzz=FuzzReadBinary ./internal/trace`.
+// The decoders must never panic and must only return traces that validate.
+
+func binarySeed(t interface{ Fatal(args ...any) }) []byte {
+	tr := NewBuilder(2).
+		T(0).Alloc(0x100, 16).Write(0x100, 8).Heartbeat().Free(0x100, 16).
+		T(1).Taint(0x200, 4).Unop(0x10, 0x200).Heartbeat().Jump(0x10).
+		Build()
+	tr.Global = []GlobalRef{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 3}, {1, 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadBinary(f *testing.F) {
+	f.Add(binarySeed(f))
+	f.Add([]byte("BFLY1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the trace invariants and survive a
+		// round trip.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !tracesEqual(tr, tr2) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	tr := NewBuilder(1).T(0).Write(0x10, 4).Heartbeat().Binop(1, 2, 3).Build()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("thread 0\nwrite 0x10 4\nglobal\n0 0\n")
+	f.Add("garbage\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadText(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadText(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

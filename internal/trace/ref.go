@@ -1,0 +1,63 @@
+package trace
+
+import "fmt"
+
+// Ref names a dynamic instruction by (epoch l, thread t, offset i) — the
+// paper's (l, t, i) tuples, also used as the SSA-like numbering in
+// TaintCheck's transfer functions (§6.2).
+type Ref struct {
+	Epoch  int
+	Thread ThreadID
+	Index  int
+}
+
+func (r Ref) String() string { return fmt.Sprintf("(%d,%d,%d)", r.Epoch, r.Thread, r.Index) }
+
+// Pack encodes the ref into a uint64 for use as a set element: 20 bits of
+// epoch, 10 bits of thread, 34 bits of offset. Panics if a component
+// overflows — window sizes in this repo are far below these bounds.
+func (r Ref) Pack() uint64 {
+	if r.Epoch < 0 || r.Epoch >= 1<<20 || r.Thread < 0 || r.Thread >= 1<<10 || r.Index < 0 || r.Index >= 1<<34 {
+		panic(fmt.Sprintf("trace: Ref %v does not fit packing", r))
+	}
+	return uint64(r.Epoch)<<44 | uint64(r.Thread)<<34 | uint64(r.Index)
+}
+
+// UnpackRef is the inverse of Ref.Pack.
+func UnpackRef(v uint64) Ref {
+	return Ref{
+		Epoch:  int(v >> 44),
+		Thread: ThreadID((v >> 34) & 0x3ff),
+		Index:  int(v & ((1 << 34) - 1)),
+	}
+}
+
+// StrictlyBefore reports whether instruction a occurs strictly before b under
+// the butterfly ordering assumptions (§6.2): always when a is at least two
+// epochs older; and additionally, under sequential consistency (sc=true),
+// when a and b are in the same thread with a earlier in program order.
+func StrictlyBefore(a, b Ref, sc bool) bool {
+	if a.Epoch <= b.Epoch-2 {
+		return true
+	}
+	if !sc {
+		return false
+	}
+	if a.Thread != b.Thread {
+		return false
+	}
+	if a.Epoch < b.Epoch {
+		return true
+	}
+	return a.Epoch == b.Epoch && a.Index < b.Index
+}
+
+// PotentiallyConcurrent reports whether two instructions may interleave
+// arbitrarily: different threads in the same or adjacent epochs (§4.1).
+func PotentiallyConcurrent(a, b Ref) bool {
+	if a.Thread == b.Thread {
+		return false
+	}
+	d := a.Epoch - b.Epoch
+	return d >= -1 && d <= 1
+}

@@ -1,0 +1,214 @@
+// Package trace defines the dynamic event model consumed by lifeguards.
+//
+// Butterfly analysis (ASPLOS 2010) deliberately abstracts the monitoring
+// infrastructure to "one event sequence per application thread" (§2). This
+// package is that abstraction: an Event is one instruction-grain application
+// event (memory access, allocation, taint source, assignment, critical use),
+// a Trace is the per-thread sequences plus — when produced by the machine
+// simulator — the ground-truth globally visible order used to score false
+// positives. Lifeguards never look at the ground truth; only the evaluation
+// harness does.
+package trace
+
+import (
+	"fmt"
+)
+
+// ThreadID identifies an application thread (and its lifeguard thread).
+type ThreadID int
+
+// Kind enumerates the instruction-grain event classes lifeguards care about.
+type Kind uint8
+
+const (
+	// Nop is an application instruction with no lifeguard-relevant effect.
+	// It still advances instruction counts (and therefore epochs).
+	Nop Kind = iota
+	// Read is a data read of [Addr, Addr+Size).
+	Read
+	// Write is a data write of [Addr, Addr+Size).
+	Write
+	// Alloc marks [Addr, Addr+Size) as allocated (malloc and friends).
+	Alloc
+	// Free marks [Addr, Addr+Size) as deallocated.
+	Free
+	// TaintSrc marks [Addr, Addr+Size) as tainted (untrusted input, e.g. a
+	// network receive system call).
+	TaintSrc
+	// Untaint marks Addr as untainted (assignment of a constant).
+	Untaint
+	// AssignUn is x := unop(a): Addr = destination x, Src1 = a.
+	AssignUn
+	// AssignBin is x := binop(a, b): Addr = destination, Src1 = a, Src2 = b.
+	AssignBin
+	// Jump is a critical use of the value at Addr (indirect jump target,
+	// format string pointer, ...). TaintCheck raises an error if tainted.
+	Jump
+	// Heartbeat is the epoch-boundary marker inserted into the log (§4.1).
+	Heartbeat
+	// BarrierEv marks an application-level barrier (used by the machine and
+	// the performance model; transparent to lifeguards).
+	BarrierEv
+	// Lock marks acquisition of the lock identified by Addr (used by
+	// lockset-based race detection).
+	Lock
+	// Unlock marks release of the lock identified by Addr.
+	Unlock
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"nop", "read", "write", "alloc", "free", "taint", "untaint",
+	"unop", "binop", "jump", "heartbeat", "barrier", "lock", "unlock",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMemAccess reports whether the event reads or writes application memory
+// (the denominator of the paper's false-positive rate: "% of memory
+// accesses").
+func (k Kind) IsMemAccess() bool { return k == Read || k == Write }
+
+// Event is one instruction-grain application event.
+type Event struct {
+	Kind Kind
+	// Addr is the primary address: accessed location, allocation base,
+	// assignment destination, or critical-use source.
+	Addr uint64
+	// Size is the byte length for Read/Write/Alloc/Free/TaintSrc.
+	Size uint64
+	// Src1, Src2 are assignment source locations (AssignUn uses Src1 only).
+	Src1, Src2 uint64
+	// Cycle is the simulated issue cycle (0 for hand-built traces).
+	Cycle uint64
+}
+
+// Lo and Hi return the half-open byte range the event touches.
+func (e Event) Lo() uint64 { return e.Addr }
+
+// Hi returns the (exclusive) end of the byte range the event touches.
+func (e Event) Hi() uint64 {
+	if e.Size == 0 {
+		return e.Addr + 1
+	}
+	return e.Addr + e.Size
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case AssignUn:
+		return fmt.Sprintf("%v %#x := op(%#x)", e.Kind, e.Addr, e.Src1)
+	case AssignBin:
+		return fmt.Sprintf("%v %#x := op(%#x, %#x)", e.Kind, e.Addr, e.Src1, e.Src2)
+	case Nop, Heartbeat, BarrierEv:
+		return e.Kind.String()
+	default:
+		return fmt.Sprintf("%v [%#x,%#x)", e.Kind, e.Lo(), e.Hi())
+	}
+}
+
+// GlobalRef locates an event inside a Trace by thread and position.
+type GlobalRef struct {
+	Thread ThreadID
+	Index  int
+}
+
+// Trace holds per-thread event sequences, and optionally the ground-truth
+// globally visible order produced by the machine simulator.
+type Trace struct {
+	Threads [][]Event
+	// Global, if non-nil, is the order in which the events became globally
+	// visible during the simulated execution. It indexes Threads. Lifeguards
+	// must not read it; the evaluation harness uses it as the oracle.
+	Global []GlobalRef
+}
+
+// NumThreads returns the number of application threads in the trace.
+func (tr *Trace) NumThreads() int { return len(tr.Threads) }
+
+// NumEvents returns the total number of events across all threads.
+func (tr *Trace) NumEvents() int {
+	n := 0
+	for _, th := range tr.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// MemAccesses counts Read/Write events across all threads.
+func (tr *Trace) MemAccesses() int {
+	n := 0
+	for _, th := range tr.Threads {
+		for _, e := range th {
+			if e.Kind.IsMemAccess() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// At returns the event a GlobalRef points to.
+func (tr *Trace) At(g GlobalRef) Event { return tr.Threads[g.Thread][g.Index] }
+
+// Serialize returns the events in ground-truth global order. It panics if the
+// trace has no ground truth.
+func (tr *Trace) Serialize() []Event {
+	if tr.Global == nil {
+		panic("trace: Serialize on a trace without ground truth")
+	}
+	out := make([]Event, len(tr.Global))
+	for i, g := range tr.Global {
+		out[i] = tr.At(g)
+	}
+	return out
+}
+
+// Validate checks internal consistency: ground-truth refs must be in range,
+// respect per-thread program order, and cover every non-heartbeat event
+// exactly once (heartbeats are log markers, not executed instructions, so a
+// ground truth may include or omit them; we require it to omit none of the
+// others). It returns nil for traces without ground truth.
+func (tr *Trace) Validate() error {
+	if tr.Global == nil {
+		return nil
+	}
+	next := make([]int, len(tr.Threads))
+	covered := 0
+	for i, g := range tr.Global {
+		if int(g.Thread) < 0 || int(g.Thread) >= len(tr.Threads) {
+			return fmt.Errorf("trace: global[%d] has bad thread %d", i, g.Thread)
+		}
+		th := tr.Threads[g.Thread]
+		if g.Index < 0 || g.Index >= len(th) {
+			return fmt.Errorf("trace: global[%d] has bad index %d (thread %d has %d events)", i, g.Index, g.Thread, len(th))
+		}
+		// Skip heartbeat markers when checking program order coverage.
+		for next[g.Thread] < len(th) && th[next[g.Thread]].Kind == Heartbeat {
+			next[g.Thread]++
+		}
+		if g.Index != next[g.Thread] {
+			return fmt.Errorf("trace: global[%d] = (t%d,%d) violates program order (expected index %d)", i, g.Thread, g.Index, next[g.Thread])
+		}
+		next[g.Thread]++
+		covered++
+	}
+	want := 0
+	for _, th := range tr.Threads {
+		for _, e := range th {
+			if e.Kind != Heartbeat {
+				want++
+			}
+		}
+	}
+	if covered != want {
+		return fmt.Errorf("trace: ground truth covers %d events, want %d", covered, want)
+	}
+	return nil
+}

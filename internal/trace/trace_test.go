@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Heartbeat.String() != "heartbeat" {
+		t.Fatalf("kind names wrong: %v %v", Read, Heartbeat)
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("out-of-range kind should still render")
+	}
+}
+
+func TestEventRange(t *testing.T) {
+	e := Event{Kind: Write, Addr: 0x100, Size: 4}
+	if e.Lo() != 0x100 || e.Hi() != 0x104 {
+		t.Fatalf("range = [%#x,%#x)", e.Lo(), e.Hi())
+	}
+	// Zero size is treated as a single byte so checks never trivially pass.
+	z := Event{Kind: Read, Addr: 0x10}
+	if z.Hi() != 0x11 {
+		t.Fatalf("zero-size Hi = %#x", z.Hi())
+	}
+}
+
+func TestBuilderAndCounts(t *testing.T) {
+	tr := NewBuilder(2).
+		T(0).Alloc(0x100, 16).Write(0x100, 4).Heartbeat().Read(0x104, 4).
+		T(1).Nop(2).Read(0x100, 4).
+		Build()
+	if tr.NumThreads() != 2 {
+		t.Fatalf("threads = %d", tr.NumThreads())
+	}
+	if tr.NumEvents() != 7 {
+		t.Fatalf("events = %d", tr.NumEvents())
+	}
+	if tr.MemAccesses() != 3 {
+		t.Fatalf("mem accesses = %d", tr.MemAccesses())
+	}
+}
+
+func TestValidateGroundTruth(t *testing.T) {
+	tr := NewBuilder(2).
+		T(0).Write(1, 1).Write(2, 1).
+		T(1).Write(3, 1).
+		Build()
+	tr.Global = []GlobalRef{{0, 0}, {1, 0}, {0, 1}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid ground truth rejected: %v", err)
+	}
+	if got := tr.Serialize(); len(got) != 3 || got[1].Addr != 3 {
+		t.Fatalf("Serialize = %v", got)
+	}
+
+	// Out-of-order within a thread must be rejected.
+	tr.Global = []GlobalRef{{0, 1}, {0, 0}, {1, 0}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("program-order violation accepted")
+	}
+	// Missing coverage must be rejected.
+	tr.Global = []GlobalRef{{0, 0}, {0, 1}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("incomplete ground truth accepted")
+	}
+	// Bad index must be rejected.
+	tr.Global = []GlobalRef{{0, 0}, {0, 1}, {1, 5}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestValidateSkipsHeartbeats(t *testing.T) {
+	tr := NewBuilder(1).T(0).Write(1, 1).Heartbeat().Write(2, 1).Build()
+	tr.Global = []GlobalRef{{0, 0}, {0, 2}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("heartbeat-skipping ground truth rejected: %v", err)
+	}
+}
+
+// randomTrace builds an arbitrary trace with all event kinds, plus a valid
+// ground-truth order from a random interleaving.
+func randomTrace(rng *rand.Rand) *Trace {
+	nt := 1 + rng.Intn(4)
+	b := NewBuilder(nt)
+	for t := 0; t < nt; t++ {
+		b.T(ThreadID(t))
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.Intn(1 << 12))
+			switch rng.Intn(9) {
+			case 0:
+				b.Read(addr, uint64(1+rng.Intn(8)))
+			case 1:
+				b.Write(addr, uint64(1+rng.Intn(8)))
+			case 2:
+				b.Alloc(addr, uint64(1+rng.Intn(64)))
+			case 3:
+				b.Free(addr, uint64(1+rng.Intn(64)))
+			case 4:
+				b.Taint(addr, uint64(1+rng.Intn(4)))
+			case 5:
+				b.Untaint(addr)
+			case 6:
+				b.Unop(addr, uint64(rng.Intn(1<<12)))
+			case 7:
+				b.Binop(addr, uint64(rng.Intn(1<<12)), uint64(rng.Intn(1<<12)))
+			case 8:
+				b.Jump(addr)
+			}
+			if rng.Intn(7) == 0 {
+				b.Heartbeat()
+			}
+		}
+	}
+	tr := b.Build()
+	// Random valid interleaving as ground truth.
+	next := make([]int, nt)
+	for {
+		live := 0
+		for t := 0; t < nt; t++ {
+			for next[t] < len(tr.Threads[t]) && tr.Threads[t][next[t]].Kind == Heartbeat {
+				next[t]++
+			}
+			if next[t] < len(tr.Threads[t]) {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		t := rng.Intn(nt)
+		for next[t] >= len(tr.Threads[t]) {
+			t = (t + 1) % nt
+		}
+		tr.Global = append(tr.Global, GlobalRef{ThreadID(t), next[t]})
+		next[t]++
+	}
+	return tr
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("binary round trip mismatch")
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		tr := randomTrace(rng)
+		// The text format does not carry cycles; zero them for comparison.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("ReadText: %v\ninput:\n%s", err, buf.String())
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("text round trip mismatch")
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("nope!"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("BFLY1"))); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"write 0x10 4\n",             // event before thread header
+		"thread 0\nfrobnicate 1 2\n", // unknown kind
+		"thread 0\nwrite 0x10\n",     // missing size
+		"thread 0\nunop 0x10\n",      // missing src
+	} {
+		if _, err := ReadText(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if len(a.Threads) != len(b.Threads) || len(a.Global) != len(b.Global) {
+		return false
+	}
+	for t := range a.Threads {
+		if len(a.Threads[t]) != len(b.Threads[t]) {
+			return false
+		}
+		for i := range a.Threads[t] {
+			if a.Threads[t][i] != b.Threads[t][i] {
+				return false
+			}
+		}
+	}
+	for i := range a.Global {
+		if a.Global[i] != b.Global[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRefPackUnpack(t *testing.T) {
+	f := func(l uint16, th uint8, i uint32) bool {
+		r := Ref{Epoch: int(l), Thread: ThreadID(th % 64), Index: int(i)}
+		return UnpackRef(r.Pack()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Pack must be order-preserving within a thread (used as SSA numbers).
+	a := Ref{Epoch: 1, Thread: 2, Index: 3}
+	b := Ref{Epoch: 1, Thread: 2, Index: 4}
+	if a.Pack() >= b.Pack() {
+		t.Error("Pack not monotone in index")
+	}
+}
+
+func TestStrictlyBefore(t *testing.T) {
+	a := Ref{Epoch: 0, Thread: 0, Index: 5}
+	b := Ref{Epoch: 2, Thread: 1, Index: 0}
+	if !StrictlyBefore(a, b, false) {
+		t.Error("two-epoch gap must order under any model")
+	}
+	c := Ref{Epoch: 1, Thread: 1, Index: 0}
+	if StrictlyBefore(a, c, false) {
+		t.Error("adjacent epochs are unordered across threads")
+	}
+	// Same-thread program order only counts under SC.
+	d1 := Ref{Epoch: 1, Thread: 0, Index: 0}
+	d2 := Ref{Epoch: 1, Thread: 0, Index: 1}
+	if StrictlyBefore(d1, d2, false) {
+		t.Error("same-thread order should not apply under relaxed model")
+	}
+	if !StrictlyBefore(d1, d2, true) {
+		t.Error("same-thread order should apply under SC")
+	}
+	e1 := Ref{Epoch: 0, Thread: 0, Index: 9}
+	if !StrictlyBefore(e1, d2, true) {
+		t.Error("earlier epoch same thread should order under SC")
+	}
+	if StrictlyBefore(d2, d1, true) {
+		t.Error("ordering should be asymmetric")
+	}
+}
+
+func TestPotentiallyConcurrent(t *testing.T) {
+	a := Ref{Epoch: 3, Thread: 0}
+	for _, tc := range []struct {
+		b    Ref
+		want bool
+	}{
+		{Ref{Epoch: 2, Thread: 1}, true},
+		{Ref{Epoch: 3, Thread: 1}, true},
+		{Ref{Epoch: 4, Thread: 1}, true},
+		{Ref{Epoch: 1, Thread: 1}, false},
+		{Ref{Epoch: 5, Thread: 1}, false},
+		{Ref{Epoch: 3, Thread: 0}, false}, // same thread never "concurrent"
+	} {
+		if got := PotentiallyConcurrent(a, tc.b); got != tc.want {
+			t.Errorf("PotentiallyConcurrent(%v,%v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+	}
+}
