@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fuzz bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every decoder (the seed corpus always runs in `test`).
+fuzz:
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzStreamReader -fuzztime 30s
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadText -fuzztime 30s
+
+# Batch-vs-stream driver microbenchmarks (bytes in, reports out).
+bench:
+	$(GO) test ./internal/core -run XXX -bench 'BenchmarkDriver(Batch|Stream)' -benchtime 3x
+
+# The gate a change must pass before it lands.
+ci: vet build race
+
+clean:
+	rm -f core.test cpu.prof mem.prof

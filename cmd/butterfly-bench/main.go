@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	butterfly-bench [-exp all|table1|fig11|fig12|fig13|ablate] [flags]
+//	butterfly-bench [-exp all|table1|fig11|fig12|fig13|ablate|stream] [flags]
+//
+// -exp stream compares the streaming pipelined driver against the batch
+// driver end to end (encoded bytes in, reports out), reporting wall time,
+// throughput speedup and sampled peak heap per benchmark.
 //
 // Experiments run at a configurable scale (-scale); epoch sizes and total
 // work shrink together, preserving the churn-per-epoch ratios that drive
@@ -23,7 +27,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig11, fig12, fig13, ablate")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig11, fig12, fig13, ablate, stream")
+		reps    = flag.Int("reps", 3, "repetitions per pipeline for -exp stream (best time wins)")
 		scale   = flag.Float64("scale", 0, "scale factor for work and epoch sizes (0 = default 1/32)")
 		threads = flag.String("threads", "2,4,8", "comma-separated application thread counts")
 		apps    = flag.String("apps", "", "comma-separated benchmark subset (default: all six)")
@@ -80,6 +85,14 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Println(bench.RenderTaintAblation(rows))
+	case "stream":
+		start := time.Now()
+		rows, err := bench.StreamAblation(o, o.HSmall, *reps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(bench.RenderStreamAblation(rows))
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}

@@ -9,6 +9,13 @@
 // through the sequential oracle and the butterfly reports are scored
 // against it (true/false positives; false negatives are impossible and
 // verified).
+//
+// With -stream, the input is the epoch-framed streaming format ("BFLYS1",
+// from tracegen -format stream) and the analysis runs through the
+// incremental pipelined driver: epochs are decoded and analyzed as they
+// arrive — stdin piping works without buffering the whole trace — and only
+// the sliding window is held in memory. Streamed traces carry no heartbeats
+// or ground truth, so -stream excludes -h, -text and -compare.
 package main
 
 import (
@@ -38,8 +45,15 @@ func main() {
 		seq      = flag.Bool("seq", false, "run the driver sequentially")
 		maxShow  = flag.Int("max-reports", 20, "print at most this many reports")
 		text     = flag.Bool("text", false, "input is in text format")
+		stream   = flag.Bool("stream", false, "input is in the streaming format; analyze incrementally")
 	)
 	flag.Parse()
+
+	if *stream {
+		if *text || *compare || *h > 0 {
+			fatalf("-stream cannot be combined with -text, -compare or -h: streamed traces carry neither heartbeats nor ground truth")
+		}
+	}
 
 	var in io.Reader = os.Stdin
 	name := "<stdin>"
@@ -52,25 +66,34 @@ func main() {
 		in = f
 		name = flag.Arg(0)
 	}
-	var tr *trace.Trace
-	var err error
-	if *text {
-		tr, err = trace.ReadText(in)
-	} else {
-		tr, err = trace.ReadBinary(in)
-	}
-	if err != nil {
-		fatalf("reading %s: %v", name, err)
-	}
 
+	var tr *trace.Trace
 	var g *epoch.Grid
-	if *h > 0 {
-		g, err = epoch.ChunkByCount(tr, *h)
+	var src core.BlockSource
+	var err error
+	if *stream {
+		sr, err := trace.NewStreamReader(in)
+		if err != nil {
+			fatalf("reading %s: %v", name, err)
+		}
+		src = epoch.NewStreamRows(sr)
 	} else {
-		g, err = epoch.ChunkByHeartbeat(tr)
-	}
-	if err != nil {
-		fatalf("chunking: %v", err)
+		if *text {
+			tr, err = trace.ReadText(in)
+		} else {
+			tr, err = trace.ReadBinary(in)
+		}
+		if err != nil {
+			fatalf("reading %s: %v", name, err)
+		}
+		if *h > 0 {
+			g, err = epoch.ChunkByCount(tr, *h)
+		} else {
+			g, err = epoch.ChunkByHeartbeat(tr)
+		}
+		if err != nil {
+			fatalf("chunking: %v", err)
+		}
 	}
 
 	var lg core.Lifeguard
@@ -96,9 +119,21 @@ func main() {
 		fatalf("unknown lifeguard %q", *lgName)
 	}
 
-	res := (&core.Driver{LG: lg, Parallel: !*seq}).Run(g)
+	d := &core.Driver{LG: lg, Parallel: !*seq}
+	var res *core.Result
+	var nthreads int
+	if *stream {
+		res, err = d.RunStream(src)
+		if err != nil {
+			fatalf("streaming %s: %v", name, err)
+		}
+		nthreads = src.NumThreads()
+	} else {
+		res = d.Run(g)
+		nthreads = g.NumThreads
+	}
 	fmt.Printf("%s: %d threads, %d epochs, %d events → %d reports\n",
-		lg.Name(), g.NumThreads, g.NumEpochs(), res.Events, len(res.Reports))
+		lg.Name(), nthreads, res.Epochs, res.Events, len(res.Reports))
 	for i, r := range res.Reports {
 		if i >= *maxShow {
 			fmt.Printf("  ... %d more\n", len(res.Reports)-*maxShow)

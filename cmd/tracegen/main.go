@@ -5,6 +5,12 @@
 // Usage:
 //
 //	tracegen -app ocean -threads 4 -ops 100000 -h 2048 -o ocean.bfly
+//
+// With -format stream the trace is chunked at its heartbeats and written in
+// the epoch-framed streaming format ("BFLYS1") for butterfly-run -stream.
+// Epoch boundaries become frame boundaries, so the ground-truth section is
+// omitted: its indices refer to heartbeat-bearing positions that do not
+// survive streaming.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 
 	"butterfly/internal/apps"
+	"butterfly/internal/epoch"
 	"butterfly/internal/machine"
 	"butterfly/internal/trace"
 )
@@ -26,7 +33,7 @@ func main() {
 		skew    = flag.Int("skew", 32, "max heartbeat reception skew in instructions")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		out     = flag.String("o", "", "output file (default stdout)")
-		format  = flag.String("format", "binary", "output format: binary or text")
+		format  = flag.String("format", "binary", "output format: binary, text or stream")
 	)
 	flag.Parse()
 
@@ -65,6 +72,11 @@ func main() {
 		err = trace.WriteBinary(w, res.Trace)
 	case "text":
 		err = trace.WriteText(w, res.Trace)
+	case "stream":
+		var g *epoch.Grid
+		if g, err = epoch.ChunkByHeartbeat(res.Trace); err == nil {
+			err = epoch.WriteStream(w, g)
+		}
 	default:
 		fatalf("unknown format %q", *format)
 	}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"butterfly/internal/apps"
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/machine"
+	"butterfly/internal/trace"
+)
+
+// Streaming-vs-batch ablation: both pipelines consume encoded trace bytes
+// and produce reports, so the comparison covers decode, materialization and
+// scheduling — everything that differs between the modes — while the
+// analysis itself (AddrCheck over the same grid) is identical. Peak heap is
+// sampled during each run: the batch pipeline must hold the whole decoded
+// trace and grid, the streaming pipeline only its sliding window, so the
+// gap widens with trace length while throughput favors streaming.
+
+// StreamRow is one benchmark × thread-count cell of the ablation.
+type StreamRow struct {
+	App     string
+	Threads int
+	Events  int
+	Epochs  int
+	// Wall time per pipeline, best of the measured repetitions.
+	BatchTime, StreamTime time.Duration
+	// Peak live heap observed during the run, above the pre-run baseline.
+	BatchPeakHeap, StreamPeakHeap uint64
+	// Report counts from each pipeline (equal unless something is broken).
+	BatchReports, StreamReports int
+}
+
+// Speedup is streaming throughput over batch throughput.
+func (r *StreamRow) Speedup() float64 {
+	if r.StreamTime == 0 {
+		return 0
+	}
+	return float64(r.BatchTime) / float64(r.StreamTime)
+}
+
+// StreamAblation measures every app × thread count at epoch size h
+// (pre-scaling), running each pipeline reps times.
+func StreamAblation(o Options, h, reps int) ([]StreamRow, error) {
+	list, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []StreamRow
+	for _, app := range list {
+		for _, T := range o.Threads {
+			row, err := measureStreamCell(o, app, T, h, reps)
+			if err != nil {
+				return nil, fmt.Errorf("bench: stream ablation %s/%d threads: %w", app.Name, T, err)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func measureStreamCell(o Options, app apps.App, T, h, reps int) (*StreamRow, error) {
+	p, err := app.Build(apps.Params{Threads: T, TargetOps: o.scaled(o.WorkPerApp) / T, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.Table1Config(T)
+	cfg.Seed = o.Seed
+	cfg.HeartbeatH = o.scaled(h)
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var batchBytes bytes.Buffer
+	if err := trace.WriteBinary(&batchBytes, res.Trace); err != nil {
+		return nil, err
+	}
+	g, err := epoch.ChunkByHeartbeat(res.Trace)
+	if err != nil {
+		return nil, err
+	}
+	var streamBytes bytes.Buffer
+	if err := epoch.WriteStream(&streamBytes, g); err != nil {
+		return nil, err
+	}
+	row := &StreamRow{App: app.Name, Threads: T, Events: g.TotalEvents(), Epochs: g.NumEpochs()}
+
+	runBatch := func() (int, error) {
+		tr, err := trace.ReadBinary(bytes.NewReader(batchBytes.Bytes()))
+		if err != nil {
+			return 0, err
+		}
+		gg, err := epoch.ChunkByHeartbeat(tr)
+		if err != nil {
+			return 0, err
+		}
+		r := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel}).Run(gg)
+		return len(r.Reports), nil
+	}
+	runStream := func() (int, error) {
+		sr, err := trace.NewStreamReader(bytes.NewReader(streamBytes.Bytes()))
+		if err != nil {
+			return 0, err
+		}
+		r, err := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel}).RunStream(epoch.NewStreamRows(sr))
+		if err != nil {
+			return 0, err
+		}
+		return len(r.Reports), nil
+	}
+
+	row.BatchTime, row.BatchPeakHeap, row.BatchReports, err = measurePipeline(runBatch, reps)
+	if err != nil {
+		return nil, err
+	}
+	row.StreamTime, row.StreamPeakHeap, row.StreamReports, err = measurePipeline(runStream, reps)
+	if err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// measurePipeline runs fn reps times, returning the best wall time, the
+// largest sampled heap growth, and fn's result.
+func measurePipeline(fn func() (int, error), reps int) (best time.Duration, peak uint64, reports int, err error) {
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+		s := startHeapSampler()
+		start := time.Now()
+		reports, err = fn()
+		elapsed := time.Since(start)
+		high := s.stop()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if i == 0 || elapsed < best {
+			best = elapsed
+		}
+		if high > base.HeapAlloc && high-base.HeapAlloc > peak {
+			peak = high - base.HeapAlloc
+		}
+	}
+	return best, peak, reports, nil
+}
+
+// heapSampler polls runtime.MemStats on its own goroutine and records the
+// high-water HeapAlloc. Sampling misses short spikes but suffices to show
+// the whole-trace vs sliding-window gap, which persists for the run.
+type heapSampler struct {
+	quit chan struct{}
+	done chan uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{quit: make(chan struct{}), done: make(chan uint64)}
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			case <-s.quit:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+				s.done <- peak
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) stop() uint64 {
+	close(s.quit)
+	return <-s.done
+}
+
+// RenderStreamAblation prints the ablation rows.
+func RenderStreamAblation(rows []StreamRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: streaming pipelined driver vs batch driver (bytes -> reports)\n")
+	fmt.Fprintf(&b, "%-14s %7s %9s %7s %11s %11s %8s %10s %10s\n",
+		"benchmark", "threads", "events", "epochs", "batch", "stream", "speedup", "batch-mem", "stream-mem")
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(&b, "%-14s %7d %9d %7d %11s %11s %7.2fx %10s %10s\n",
+			r.App, r.Threads, r.Events, r.Epochs,
+			r.BatchTime.Round(time.Microsecond), r.StreamTime.Round(time.Microsecond),
+			r.Speedup(), fmtBytes(r.BatchPeakHeap), fmtBytes(r.StreamPeakHeap))
+	}
+	return b.String()
+}
+
+func fmtBytes(v uint64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}

@@ -20,7 +20,12 @@
 //
 // The Driver schedules these steps, owns the SOS (single writer), and — in
 // parallel mode — runs each pass with one goroutine per thread separated by
-// barriers, mirroring the paper's implementation.
+// barriers, mirroring the paper's implementation. Two execution modes exist:
+// Run analyzes a fully materialized epoch.Grid; RunStream (stream.go)
+// ingests epoch rows incrementally from a BlockSource, overlaps decoding
+// with analysis on persistent per-thread workers, and retains only the
+// sliding window, so an unbounded trace can be monitored in bounded memory.
+// Both modes produce identical results.
 package core
 
 import (
@@ -77,6 +82,50 @@ type PassContext struct {
 	// conclusions (LASTCHECK) that the later SOS update consumes. A block's
 	// Own summary is never read concurrently by other threads' passes.
 	Own Summary
+	// WingAggs holds pre-folded wing aggregates when the lifeguard
+	// implements WingAggregator: WingAggs[k] is the fold of epoch row
+	// l−1+k's summaries excluding the body's own thread, or nil where the
+	// window is clipped at a grid edge. WingAggs[1] (the body's own row,
+	// which always exists) is non-nil exactly when aggregation is active.
+	// Set only during the second pass; the wings slice is still passed.
+	WingAggs [3]any
+}
+
+// WingAggregator is an optional Lifeguard extension. The driver's naive
+// wing walk re-folds the same epoch row once per body — O(T²) summary
+// folds per epoch. A lifeguard whose wing meet is commutative and
+// associative can implement WingAggregator; the driver then folds each row
+// once into per-thread exclusive aggregates (prefix/suffix folds, O(T)
+// AddWing calls per row) and hands them to SecondPass via
+// PassContext.WingAggs. All three methods must return fresh aggregates and
+// leave their arguments unmodified: the driver retains and reuses
+// intermediate folds across calls.
+type WingAggregator interface {
+	// EmptyWings returns the fold of zero wing summaries.
+	EmptyWings() any
+	// AddWing returns agg extended with summary s.
+	AddWing(agg any, s Summary) any
+	// MergeWings returns the fold of two aggregates.
+	MergeWings(a, b any) any
+}
+
+// exclAggRow folds one epoch row into per-thread exclusive aggregates:
+// out[t] covers row[tt] for every tt ≠ t. A prefix fold and a running
+// suffix fold give every exclusion in O(T) AddWing/MergeWings calls.
+func exclAggRow(wa WingAggregator, row []Summary) []any {
+	T := len(row)
+	pre := make([]any, T+1)
+	pre[0] = wa.EmptyWings()
+	for i := 0; i < T; i++ {
+		pre[i+1] = wa.AddWing(pre[i], row[i])
+	}
+	out := make([]any, T)
+	suf := wa.EmptyWings()
+	for t := T - 1; t >= 0; t-- {
+		out[t] = wa.MergeWings(pre[t], suf)
+		suf = wa.AddWing(suf, row[t])
+	}
+	return out
 }
 
 // Lifeguard is implemented by a butterfly analysis. The driver guarantees:
@@ -107,7 +156,8 @@ type Lifeguard interface {
 	UpdateSOS(prev State, prevEpoch, curEpoch []Summary) State
 }
 
-// Driver schedules a lifeguard over a grid.
+// Driver schedules a lifeguard over a grid (Run) or an incremental stream
+// of epoch rows (RunStream). The same configuration applies to both modes.
 type Driver struct {
 	// LG is the lifeguard to run.
 	LG Lifeguard
@@ -145,8 +195,15 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		return res
 	}
 
-	// Sliding window of summaries: sum[l] for the last few epochs.
+	// Sliding window of summaries: sum[l] for the last few epochs. When the
+	// lifeguard aggregates wings, aggRows[l][t] is the fold of epoch l's
+	// summaries excluding thread t, maintained over the same window.
 	sums := make([][]Summary, L)
+	wa, _ := d.LG.(WingAggregator)
+	var aggRows [][]any
+	if wa != nil {
+		aggRows = make([][]any, L)
+	}
 	sos := make([]State, L+2)
 	sos[0] = d.LG.BottomState()
 	if L+2 > 1 {
@@ -158,6 +215,12 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 			return nil
 		}
 		return sums[l]
+	}
+	aggAt := func(l int) []any {
+		if wa == nil || l < 0 || l >= L {
+			return nil
+		}
+		return aggRows[l]
 	}
 
 	firstPass := func(l int) {
@@ -173,6 +236,9 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		}
 		d.forEachThread(T, run)
 		sums[l] = out
+		if wa != nil {
+			aggRows[l] = exclAggRow(wa, out)
+		}
 		for t := 0; t < T; t++ {
 			res.Reports = append(res.Reports, reports[t]...)
 		}
@@ -180,6 +246,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 
 	secondPass := func(l int) {
 		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2)}
+		aggs := [3][]any{aggAt(l - 1), aggAt(l), aggAt(l + 1)}
 		reports := make([][]Report, T)
 		run := func(t int) {
 			c := ctx
@@ -187,6 +254,11 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 				c.Head = c.Epoch1Back[t]
 			}
 			c.Own = sums[l][t]
+			for k, row := range aggs {
+				if row != nil {
+					c.WingAggs[k] = row[t]
+				}
+			}
 			var wings []Summary
 			for le := l - 1; le <= l+1; le++ {
 				row := sumAt(le)
@@ -216,9 +288,14 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		if l >= 1 {
 			secondPass(l - 1)
 		}
-		if !d.KeepHistory && l >= 4 {
+		if l >= 4 {
 			// Epoch l−4 can no longer be referenced by any pass or update.
-			sums[l-4] = nil
+			if !d.KeepHistory {
+				sums[l-4] = nil
+			}
+			if wa != nil {
+				aggRows[l-4] = nil
+			}
 		}
 	}
 	secondPass(L - 1)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"butterfly/internal/epoch"
@@ -12,9 +13,12 @@ import (
 // countingLifeguard records the driver's scheduling discipline so the
 // two-pass contract can be asserted: first pass once per block in epoch
 // order, second pass after the whole window's first passes, single-threaded
-// SOS updates, correct wing sets.
+// SOS updates, correct wing sets. Unlike a real lifeguard it shares mutable
+// bookkeeping across blocks, so it locks around it: the driver runs passes
+// for different threads concurrently.
 type countingLifeguard struct {
 	t          *testing.T
+	mu         sync.Mutex
 	firstPass  map[trace.Ref]int
 	secondPass map[trace.Ref]int
 	firstSeen  []trace.Ref // order of first-pass calls (sequential mode)
@@ -38,8 +42,10 @@ func (c *countingLifeguard) Name() string       { return "counting" }
 func (c *countingLifeguard) BottomState() State { return sets.NewSet() }
 func (c *countingLifeguard) FirstPass(b *epoch.Block, ctx PassContext) (Summary, []Report) {
 	ref := b.Ref(0)
+	c.mu.Lock()
 	c.firstPass[ref]++
 	c.firstSeen = append(c.firstSeen, ref)
+	c.mu.Unlock()
 	if ctx.SOS == nil {
 		c.t.Errorf("nil SOS in first pass of %v", ref)
 	}
@@ -53,7 +59,9 @@ func (c *countingLifeguard) FirstPass(b *epoch.Block, ctx PassContext) (Summary,
 }
 func (c *countingLifeguard) SecondPass(b *epoch.Block, ctx PassContext, wings []Summary) []Report {
 	ref := b.Ref(0)
+	c.mu.Lock()
 	c.secondPass[ref]++
+	c.mu.Unlock()
 	if own, ok := ctx.Own.(*countSummary); !ok || own.ref != ref {
 		c.t.Errorf("Own summary wrong for %v", ref)
 	}

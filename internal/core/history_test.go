@@ -1,0 +1,73 @@
+package core_test
+
+// Regression guard for the sliding-window retirement logic: KeepHistory
+// only changes what the Result retains, never what the analysis computes.
+// This pins down the `sums[l-4] = nil` window retirement and the post-loop
+// SOS tail updates in core.go, and the equivalent ring-buffer window in
+// stream.go.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+)
+
+func TestKeepHistoryEquivalence(t *testing.T) {
+	for lgName, mk := range lifeguards {
+		t.Run(lgName, func(t *testing.T) {
+			for seed := int64(100); seed < 106; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				tr := randomTrace(rng, 1+rng.Intn(6))
+				g, err := epoch.ChunkByCount(tr, 1+rng.Intn(6))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []bool{false, true} {
+					plain := (&core.Driver{LG: mk(), Parallel: par}).Run(g)
+					hist := (&core.Driver{LG: mk(), Parallel: par, KeepHistory: true}).Run(g)
+					if !reflect.DeepEqual(canonReports(plain.Reports), canonReports(hist.Reports)) {
+						t.Fatalf("seed %d parallel=%v: KeepHistory changed the reports", seed, par)
+					}
+					if !reflect.DeepEqual(plain.FinalSOS, hist.FinalSOS) {
+						t.Fatalf("seed %d parallel=%v: KeepHistory changed the final SOS", seed, par)
+					}
+					if plain.Summaries != nil || plain.SOSHistory != nil {
+						t.Fatalf("seed %d parallel=%v: summaries retained without KeepHistory", seed, par)
+					}
+					if g.NumEpochs() > 0 && (len(hist.Summaries) != g.NumEpochs() || len(hist.SOSHistory) != g.NumEpochs()+2) {
+						t.Fatalf("seed %d parallel=%v: history sized %d/%d, want %d/%d",
+							seed, par, len(hist.Summaries), len(hist.SOSHistory),
+							g.NumEpochs(), g.NumEpochs()+2)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKeepHistoryStreamMatchesBatch(t *testing.T) {
+	for lgName, mk := range lifeguards {
+		t.Run(lgName, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			tr := randomTrace(rng, 4)
+			g, err := epoch.ChunkByCount(tr, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := (&core.Driver{LG: mk(), KeepHistory: true}).Run(g)
+			stream, err := (&core.Driver{LG: mk(), Parallel: true, KeepHistory: true}).RunStream(epoch.NewGridRows(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stream.SOSHistory, batch.SOSHistory) {
+				t.Fatalf("stream SOS history diverges from batch")
+			}
+			if !reflect.DeepEqual(stream.Summaries, batch.Summaries) {
+				t.Fatalf("stream summaries diverge from batch")
+			}
+		})
+	}
+}

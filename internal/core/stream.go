@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"butterfly/internal/epoch"
+)
+
+// This file implements the streaming, pipelined execution mode of the
+// butterfly driver. Where Run materializes the whole grid up front and
+// fork/joins one goroutine per thread twice per epoch, RunStream ingests
+// epoch rows incrementally from a BlockSource and keeps T persistent
+// lifeguard workers alive for the whole run, signalling them once per epoch.
+// Each tick overlaps the stages the sliding window permits:
+//
+//	decode(l+1..l+2) ∥ [ first-pass(l) → barrier → second-pass(l−1) ] → SOS-update(l−1)
+//
+// The decode prefetcher runs ahead of the analysis on its own goroutine;
+// within a tick, first-pass(l) and second-pass(l−1) each run with one worker
+// per thread, separated by a single internal barrier. This preserves exactly
+// the happens-before structure of the batch driver — all of first-pass(l)
+// completes before any of second-pass(l−1) starts, and the SOS update for
+// epoch l+1 consumes epoch l−1's post-second-pass summaries — so the two
+// drivers produce identical reports and identical final SOS.
+//
+// Memory is bounded by the sliding window regardless of trace length: the
+// driver retains the summaries of epochs l−3..l (ring of 4 rows), the blocks
+// of epochs l−1..l, two SOS values, and at most streamPrefetch decoded rows
+// in flight. Nothing else accumulates (unless KeepHistory is set).
+
+// BlockSource yields successive epoch rows of blocks. Implementations
+// include epoch.StreamRows (incremental decode of the streaming trace
+// format) and epoch.GridRows (replay of a materialized grid).
+type BlockSource interface {
+	// NumThreads reports the row width; every row must have this many
+	// blocks.
+	NumThreads() int
+	// NextEpoch returns the blocks of the next epoch, one per thread, or
+	// io.EOF after the last epoch.
+	NextEpoch() ([]*epoch.Block, error)
+}
+
+// streamWindow is the number of summary rows retained: epochs l−3..l are
+// all the passes and updates of tick l can reference.
+const streamWindow = 4
+
+// streamPrefetch is how many decoded epoch rows may be in flight between
+// the decode goroutine and the analysis pipeline.
+const streamPrefetch = 2
+
+// RunStream executes the two-pass butterfly algorithm over a stream of
+// epoch rows, retaining only the sliding window. It produces the same
+// Result as Run over the equivalent grid (Summaries/SOSHistory are filled
+// only when KeepHistory is set, which unbounds memory). The error, if any,
+// comes from the source; analysis itself cannot fail.
+func (d *Driver) RunStream(src BlockSource) (*Result, error) {
+	T := src.NumThreads()
+	res := &Result{}
+	if T == 0 {
+		// Match Run on an empty grid, but drain the source so a stream
+		// with a malformed tail still reports its error.
+		for {
+			if _, err := src.NextEpoch(); err == io.EOF {
+				res.FinalSOS = d.LG.BottomState()
+				return res, nil
+			} else if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	st := &streamState{d: d, T: T, res: res}
+	st.wa, _ = d.LG.(WingAggregator)
+	st.sosCur = d.LG.BottomState() // SOS₀
+	if d.Parallel && T > 1 {
+		st.pipe = newStreamPipeline(d.LG, T)
+		defer st.pipe.shutdown()
+	}
+
+	next, stop := startPrefetch(src, st.pipe != nil)
+	defer stop()
+	for {
+		row, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := st.checkRow(row); err != nil {
+			return nil, err
+		}
+		st.tick(row)
+	}
+	st.finish()
+	return res, nil
+}
+
+// startPrefetch returns a row iterator over src. In pipelined mode the
+// source is drained on a dedicated goroutine so decoding epoch l+1 overlaps
+// the analysis of epoch l; otherwise rows are pulled synchronously (the
+// serial mode stays deterministic and single-goroutine, like Run).
+func startPrefetch(src BlockSource, async bool) (next func() ([]*epoch.Block, error), stop func()) {
+	if !async {
+		return src.NextEpoch, func() {}
+	}
+	type rowMsg struct {
+		row []*epoch.Block
+		err error
+	}
+	rows := make(chan rowMsg, streamPrefetch)
+	quit := make(chan struct{})
+	go func() {
+		defer close(rows)
+		for {
+			row, err := src.NextEpoch()
+			select {
+			case rows <- rowMsg{row, err}:
+			case <-quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var stopOnce sync.Once
+	next = func() ([]*epoch.Block, error) {
+		m, ok := <-rows
+		if !ok {
+			return nil, io.EOF
+		}
+		return m.row, m.err
+	}
+	stop = func() { stopOnce.Do(func() { close(quit) }) }
+	return next, stop
+}
+
+// streamState is the driver's sliding window: the last streamWindow summary
+// rows, the current and previous block rows, and the two live SOS values.
+type streamState struct {
+	d    *Driver
+	T    int
+	res  *Result
+	pipe *streamPipeline
+
+	// sums[k%streamWindow] holds epoch k's summaries for k in l−3..l.
+	sums [streamWindow][]Summary
+	// aggs mirrors sums with per-thread exclusive wing aggregates when the
+	// lifeguard implements WingAggregator.
+	aggs [streamWindow][]any
+	wa   WingAggregator
+	// sosPrev and sosCur are SOS_{l−1} and SOSₗ at tick entry.
+	sosPrev, sosCur State
+	// prevBlocks is epoch l−1's row (second-pass input).
+	prevBlocks []*epoch.Block
+	// l is the epoch the next tick will first-pass.
+	l int
+}
+
+// checkRow validates a source row against the grid invariants the passes
+// rely on.
+func (st *streamState) checkRow(row []*epoch.Block) error {
+	if len(row) != st.T {
+		return fmt.Errorf("core: epoch %d row has %d blocks, want %d", st.l, len(row), st.T)
+	}
+	for t, b := range row {
+		if b == nil {
+			return fmt.Errorf("core: epoch %d thread %d: nil block", st.l, t)
+		}
+		if b.Epoch != st.l || int(b.Thread) != t {
+			return fmt.Errorf("core: block at epoch %d thread %d labeled (%d,%d)", st.l, t, b.Epoch, b.Thread)
+		}
+	}
+	return nil
+}
+
+// rowSums returns epoch k's summaries if k is inside the live window.
+func (st *streamState) rowSums(k int) []Summary {
+	if k < 0 || k > st.l || k <= st.l-streamWindow {
+		return nil
+	}
+	return st.sums[k%streamWindow]
+}
+
+// rowAggs returns epoch k's exclusive wing aggregates, under the same
+// window bounds as rowSums.
+func (st *streamState) rowAggs(k int) []any {
+	if st.wa == nil || k < 0 || k > st.l || k <= st.l-streamWindow {
+		return nil
+	}
+	return st.aggs[k%streamWindow]
+}
+
+// tick advances the pipeline by one epoch: first-pass(l), second-pass(l−1),
+// then the SOS update producing SOS_{l+1}.
+func (st *streamState) tick(row []*epoch.Block) {
+	d, l := st.d, st.l
+	for _, b := range row {
+		st.res.Events += b.Len()
+	}
+	w := &tickWork{
+		runF:    true,
+		runS:    l >= 1,
+		wa:      st.wa,
+		fBlocks: row,
+		fOut:    make([]Summary, st.T),
+		fctx:    PassContext{SOS: st.sosCur, Epoch1Back: st.rowSums(l - 1), Epoch2Back: st.rowSums(l - 2)},
+	}
+	if w.runS {
+		w.sBlocks = st.prevBlocks
+		w.sctx = PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(l - 2), Epoch2Back: st.rowSums(l - 3)}
+		w.wingRows = [3][]Summary{st.rowSums(l - 2), st.rowSums(l - 1), w.fOut}
+		w.sAggs = [3][]any{st.rowAggs(l - 2), st.rowAggs(l - 1), nil} // [2] is filled post-barrier
+	}
+	st.exec(w)
+	// Publish epoch l's summaries only now: the window slot may still hold
+	// epoch l−4, which second-pass(l−1) must not see in its wings.
+	st.sums[l%streamWindow] = w.fOut
+	if st.wa != nil {
+		st.aggs[l%streamWindow] = w.fAgg
+	}
+	st.collect(w)
+
+	// SOS_{l+1}: for l == 0 it is ⊥ by definition; afterwards the epoch
+	// summary of l−1 (its post-second-pass summaries are final as of this
+	// tick) advances the SOS.
+	var sosNext State
+	if l == 0 {
+		sosNext = d.LG.BottomState()
+	} else {
+		sosNext = d.LG.UpdateSOS(st.sosCur, st.rowSums(l-2), st.rowSums(l-1))
+	}
+	if d.KeepHistory {
+		if l == 0 {
+			// Like Run, history exists only for non-empty inputs.
+			st.res.SOSHistory = append(st.res.SOSHistory, st.sosCur)
+		}
+		st.res.Summaries = append(st.res.Summaries, w.fOut)
+		st.res.SOSHistory = append(st.res.SOSHistory, sosNext)
+	}
+	st.sosPrev, st.sosCur = st.sosCur, sosNext
+	st.prevBlocks = row
+	st.l++
+}
+
+// finish runs the trailing second pass and SOS updates once the source is
+// exhausted, mirroring Run's post-loop.
+func (st *streamState) finish() {
+	d, L := st.d, st.l
+	st.res.Epochs = L
+	if L == 0 {
+		st.res.FinalSOS = d.LG.BottomState()
+		return
+	}
+	w := &tickWork{
+		runS:    true,
+		wa:      st.wa,
+		sBlocks: st.prevBlocks,
+		sctx:    PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(L - 2), Epoch2Back: st.rowSums(L - 3)},
+		// Epoch L does not exist; the tail wing is clipped.
+		wingRows: [3][]Summary{st.rowSums(L - 2), st.rowSums(L - 1), nil},
+		sAggs:    [3][]any{st.rowAggs(L - 2), st.rowAggs(L - 1), nil},
+	}
+	st.exec(w)
+	st.collect(w)
+	final := d.LG.UpdateSOS(st.sosCur, st.rowSums(L-2), st.rowSums(L-1))
+	if d.KeepHistory {
+		st.res.SOSHistory = append(st.res.SOSHistory, final)
+	}
+	st.res.FinalSOS = final
+}
+
+// exec runs one tick's passes, pipelined when workers exist.
+func (st *streamState) exec(w *tickWork) {
+	if w.runF {
+		w.fReports = make([][]Report, st.T)
+	}
+	if w.runS {
+		// The second pass targets epoch st.l−1 both mid-run and in finish().
+		w.sOwn = st.rowSums(st.l - 1)
+		w.sReports = make([][]Report, st.T)
+	}
+	if st.pipe != nil {
+		st.pipe.run(w)
+		return
+	}
+	// Serial: all first passes, then all second passes — the same order the
+	// barrier enforces in pipelined mode.
+	if w.runF {
+		for t := 0; t < st.T; t++ {
+			w.firstPass(st.d.LG, t)
+		}
+	}
+	w.foldAggs()
+	if w.runS {
+		for t := 0; t < st.T; t++ {
+			w.secondPass(st.d.LG, t)
+		}
+	}
+}
+
+// collect appends a tick's reports in (pass, thread) order, matching Run.
+func (st *streamState) collect(w *tickWork) {
+	for _, reps := range w.fReports {
+		st.res.Reports = append(st.res.Reports, reps...)
+	}
+	for _, reps := range w.sReports {
+		st.res.Reports = append(st.res.Reports, reps...)
+	}
+}
+
+// tickWork is one epoch tick's shared input/output, published to the
+// workers before they are signalled.
+type tickWork struct {
+	runF, runS bool
+	wa         WingAggregator // non-nil when the lifeguard aggregates wings
+
+	// First pass over epoch l.
+	fBlocks  []*epoch.Block
+	fctx     PassContext
+	fOut     []Summary
+	fAgg     []any // epoch l's exclusive aggregates, folded between phases
+	fReports [][]Report
+
+	// Second pass over epoch l−1.
+	sBlocks  []*epoch.Block
+	sctx     PassContext
+	sOwn     []Summary    // epoch l−1's own summaries
+	wingRows [3][]Summary // epochs l−2, l−1, l (l's row is fOut, final after the barrier)
+	sAggs    [3][]any     // exclusive aggregates for the same rows
+	sReports [][]Report
+}
+
+// foldAggs folds the freshly first-passed row into exclusive aggregates.
+// It must run after every first pass of the tick and before any second
+// pass: in pipelined mode one worker calls it between the two barriers, in
+// serial mode it runs between the loops.
+func (w *tickWork) foldAggs() {
+	if w.wa == nil || !w.runF {
+		return
+	}
+	w.fAgg = exclAggRow(w.wa, w.fOut)
+	if w.runS {
+		w.sAggs[2] = w.fAgg
+	}
+}
+
+// firstPass runs thread t's first pass.
+func (w *tickWork) firstPass(lg Lifeguard, t int) {
+	c := w.fctx
+	if c.Epoch1Back != nil {
+		c.Head = c.Epoch1Back[t]
+	}
+	w.fOut[t], w.fReports[t] = lg.FirstPass(w.fBlocks[t], c)
+}
+
+// secondPass runs thread t's second pass.
+func (w *tickWork) secondPass(lg Lifeguard, t int) {
+	c := w.sctx
+	if c.Epoch1Back != nil {
+		c.Head = c.Epoch1Back[t]
+	}
+	c.Own = w.sOwn[t]
+	for k, row := range w.sAggs {
+		if row != nil {
+			c.WingAggs[k] = row[t]
+		}
+	}
+	var wings []Summary
+	for _, rowS := range w.wingRows {
+		if rowS == nil {
+			continue
+		}
+		for tt, s := range rowS {
+			if tt != t {
+				wings = append(wings, s)
+			}
+		}
+	}
+	w.sReports[t] = lg.SecondPass(w.sBlocks[t], c, wings)
+}
+
+// streamPipeline holds the persistent per-thread workers. One signal per
+// worker per tick replaces the batch driver's two fork/joins per epoch; the
+// internal barrier separates the first-pass and second-pass phases.
+type streamPipeline struct {
+	lg    Lifeguard
+	start []chan *tickWork
+	done  sync.WaitGroup
+	bar   *barrier
+}
+
+func newStreamPipeline(lg Lifeguard, T int) *streamPipeline {
+	p := &streamPipeline{lg: lg, bar: newBarrier(T)}
+	p.start = make([]chan *tickWork, T)
+	for t := 0; t < T; t++ {
+		p.start[t] = make(chan *tickWork, 1)
+		go p.worker(t)
+	}
+	return p
+}
+
+// run executes one tick on the workers and waits for completion.
+func (p *streamPipeline) run(w *tickWork) {
+	p.done.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- w
+	}
+	p.done.Wait()
+}
+
+// shutdown terminates the workers.
+func (p *streamPipeline) shutdown() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+func (p *streamPipeline) worker(t int) {
+	for w := range p.start[t] {
+		if w.runF {
+			w.firstPass(p.lg, t)
+		}
+		// All first passes complete before any second pass reads the new
+		// row as a wing — the same guarantee Run's per-pass join provides.
+		p.bar.await()
+		if w.wa != nil {
+			// Worker 0 folds the fresh row's wing aggregates while the
+			// others wait; the extra barrier publishes the fold.
+			if t == 0 {
+				w.foldAggs()
+			}
+			p.bar.await()
+		}
+		if w.runS {
+			w.secondPass(p.lg, t)
+		}
+		p.done.Done()
+	}
+}
+
+// barrier is a reusable synchronization point for a fixed set of
+// participants. await blocks until all n have arrived, then releases them;
+// the generation swap makes it immediately reusable for the next phase.
+type barrier struct {
+	n   int
+	mu  sync.Mutex
+	cnt int
+	gen chan struct{}
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, gen: make(chan struct{})}
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.cnt++
+	if b.cnt == b.n {
+		b.cnt = 0
+		b.gen = make(chan struct{})
+		b.mu.Unlock()
+		close(gen)
+		return
+	}
+	b.mu.Unlock()
+	<-gen
+}

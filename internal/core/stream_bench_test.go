@@ -1,0 +1,134 @@
+package core_test
+
+// End-to-end driver benchmarks: encoded trace bytes in, reports out. The
+// batch pipeline decodes the whole trace, chunks it into a grid, and runs
+// the fork/join driver; the streaming pipeline decodes epoch frames
+// incrementally and runs the pipelined driver. Both do the same analysis
+// (AddrCheck over an allocation-churn workload), so the delta is purely
+// scheduling and materialization overhead.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/trace"
+)
+
+// benchEpochSize keeps epochs small enough that the benchmark grids have
+// dozens of epochs — the regime where per-epoch scheduling overhead shows.
+const benchEpochSize = 512
+
+// benchTrace builds an AddrCheck workload shaped like the paper's apps:
+// each thread allocates a private slot region up front, then mostly reads
+// and writes its own slots plus occasional reads of other threads' regions,
+// with rare reallocation of a private slot. Allocation churn is low, so —
+// as in the paper's race-free benchmarks — reports are rare and the
+// benchmark measures the drivers, not report formatting.
+func benchTrace(nthreads, perThread int, seed int64) *trace.Trace {
+	b := trace.NewBuilder(nthreads)
+	const (
+		heapBase  = 0x10000
+		slots     = 64 // private slots per thread
+		slotSize  = 64
+		threadSpc = slots * slotSize
+	)
+	for t := 0; t < nthreads; t++ {
+		b.T(trace.ThreadID(t))
+		rng := rand.New(rand.NewSource(seed ^ int64(t)<<16))
+		base := uint64(heapBase + t*threadSpc)
+		own := func() uint64 { return base + uint64(rng.Intn(slots))*slotSize }
+		any := func() uint64 {
+			return heapBase + uint64(rng.Intn(nthreads*slots))*slotSize
+		}
+		for s := 0; s < slots; s++ {
+			b.Alloc(base+uint64(s)*slotSize, slotSize)
+		}
+		for i := slots; i < perThread; i++ {
+			switch rng.Intn(64) {
+			case 0:
+				s := own()
+				b.Free(s, slotSize)
+				b.Alloc(s, slotSize)
+				i++
+			case 1, 2, 3, 4, 5, 6:
+				b.Read(any(), uint64(1+rng.Intn(slotSize)))
+			case 7, 8, 9, 10, 11, 12, 13, 14, 15, 16:
+				b.Write(own(), uint64(1+rng.Intn(slotSize)))
+			default:
+				b.Read(own(), uint64(1+rng.Intn(slotSize)))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// benchBytes encodes the workload in both wire formats once per size.
+func benchBytes(tb testing.TB, nthreads int) (batch, stream []byte) {
+	tb.Helper()
+	tr := benchTrace(nthreads, 131072, 1)
+	var bb bytes.Buffer
+	if err := trace.WriteBinary(&bb, tr); err != nil {
+		tb.Fatal(err)
+	}
+	g, err := epoch.ChunkByCount(tr, benchEpochSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := epoch.WriteStream(&sb, g); err != nil {
+		tb.Fatal(err)
+	}
+	return bb.Bytes(), sb.Bytes()
+}
+
+func BenchmarkDriverBatch(b *testing.B) {
+	for _, nthreads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", nthreads), func(b *testing.B) {
+			data, _ := benchBytes(b, nthreads)
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, err := trace.ReadBinary(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := epoch.ChunkByCount(tr, benchEpochSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := (&core.Driver{LG: addrcheck.New(0), Parallel: true}).Run(g)
+				if res.Events == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDriverStream(b *testing.B) {
+	for _, nthreads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", nthreads), func(b *testing.B) {
+			_, data := benchBytes(b, nthreads)
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sr, err := trace.NewStreamReader(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := (&core.Driver{LG: addrcheck.New(0), Parallel: true}).RunStream(epoch.NewStreamRows(sr))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Events == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package epoch
+
+import (
+	"io"
+
+	"butterfly/internal/trace"
+)
+
+// This file adapts the streaming trace format (trace.StreamReader/Writer) to
+// the epoch grid model. Both adapters satisfy core.BlockSource structurally —
+// NumThreads() int and NextEpoch() ([]*Block, error) — without this package
+// importing core (core imports epoch).
+
+// StreamRows turns an incremental stream decoder into successive epoch rows
+// of blocks. Start offsets count each thread's streamed events, so reports
+// can point back at stream positions.
+type StreamRows struct {
+	sr     *trace.StreamReader
+	epoch  int
+	starts []int
+}
+
+// NewStreamRows returns a row source over sr.
+func NewStreamRows(sr *trace.StreamReader) *StreamRows {
+	return &StreamRows{sr: sr, starts: make([]int, sr.NumThreads())}
+}
+
+// NumThreads returns the stream's thread count.
+func (s *StreamRows) NumThreads() int { return s.sr.NumThreads() }
+
+// NextEpoch decodes the next epoch frame into a row of blocks. It returns
+// io.EOF after the stream's end frame.
+func (s *StreamRows) NextEpoch() ([]*Block, error) {
+	row, err := s.sr.NextEpoch()
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]*Block, len(row))
+	for t, evs := range row {
+		blocks[t] = &Block{
+			Epoch:  s.epoch,
+			Thread: trace.ThreadID(t),
+			Start:  s.starts[t],
+			Events: evs,
+		}
+		s.starts[t] += len(evs)
+	}
+	s.epoch++
+	return blocks, nil
+}
+
+// GridRows replays an already-materialized grid row by row. It exists for
+// tests, benchmarks and differential comparisons between the batch and
+// streaming drivers: both consume identical blocks.
+type GridRows struct {
+	g     *Grid
+	epoch int
+}
+
+// NewGridRows returns a row source replaying g.
+func NewGridRows(g *Grid) *GridRows { return &GridRows{g: g} }
+
+// NumThreads returns the grid's thread count.
+func (s *GridRows) NumThreads() int { return s.g.NumThreads }
+
+// NextEpoch returns the next grid row, then io.EOF.
+func (s *GridRows) NextEpoch() ([]*Block, error) {
+	if s.epoch >= s.g.NumEpochs() {
+		return nil, io.EOF
+	}
+	row := s.g.Blocks[s.epoch]
+	s.epoch++
+	return row, nil
+}
+
+// WriteStream encodes a grid in the streaming trace format: one epoch frame
+// per grid row, then an end frame. Ground truth is not carried over — the
+// stream format is for wire-speed monitoring, where no globally visible
+// order exists to embed.
+func WriteStream(w io.Writer, g *Grid) error {
+	sw, err := trace.NewStreamWriter(w, g.NumThreads)
+	if err != nil {
+		return err
+	}
+	row := make([][]trace.Event, g.NumThreads)
+	for l := 0; l < g.NumEpochs(); l++ {
+		for t := 0; t < g.NumThreads; t++ {
+			row[t] = g.Blocks[l][t].Events
+		}
+		if err := sw.WriteEpoch(row); err != nil {
+			return err
+		}
+	}
+	return sw.Close(nil)
+}

@@ -1,0 +1,103 @@
+package epoch
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"butterfly/internal/trace"
+)
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	tr := trace.NewBuilder(2).
+		T(0).Alloc(0x100, 16).Write(0x100, 8).Heartbeat().Free(0x100, 16).Heartbeat().
+		T(1).Read(0x100, 4).Heartbeat().Heartbeat().Write(0x200, 4).
+		Build()
+	g, err := ChunkByHeartbeat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWriteStreamRoundTrip(t *testing.T) {
+	g := testGrid(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := trace.NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := NewStreamRows(sr)
+	if rows.NumThreads() != g.NumThreads {
+		t.Fatalf("NumThreads = %d, want %d", rows.NumThreads(), g.NumThreads)
+	}
+	for l := 0; l < g.NumEpochs(); l++ {
+		row, err := rows.NextEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", l, err)
+		}
+		for tt, b := range row {
+			want := g.Blocks[l][tt]
+			if b.Epoch != l || b.Thread != want.Thread {
+				t.Fatalf("epoch %d thread %d: got block (%d,%d)", l, tt, b.Epoch, b.Thread)
+			}
+			if !reflect.DeepEqual(b.Events, want.Events) && !(len(b.Events) == 0 && len(want.Events) == 0) {
+				t.Fatalf("epoch %d thread %d: events %v, want %v", l, tt, b.Events, want.Events)
+			}
+		}
+	}
+	if _, err := rows.NextEpoch(); err != io.EOF {
+		t.Fatalf("after last row: %v, want io.EOF", err)
+	}
+}
+
+func TestStreamRowsStartOffsets(t *testing.T) {
+	g := testGrid(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := trace.NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := NewStreamRows(sr)
+	counts := make([]int, rows.NumThreads())
+	for {
+		row, err := rows.NextEpoch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt, b := range row {
+			if b.Start != counts[tt] {
+				t.Fatalf("thread %d: Start = %d, want cumulative %d", tt, b.Start, counts[tt])
+			}
+			counts[tt] += len(b.Events)
+		}
+	}
+}
+
+func TestGridRows(t *testing.T) {
+	g := testGrid(t)
+	rows := NewGridRows(g)
+	for l := 0; l < g.NumEpochs(); l++ {
+		row, err := rows.NextEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", l, err)
+		}
+		if !reflect.DeepEqual(row, g.Blocks[l]) {
+			t.Fatalf("epoch %d: rows differ from grid", l)
+		}
+	}
+	if _, err := rows.NextEpoch(); err != io.EOF {
+		t.Fatalf("after last row: %v, want io.EOF", err)
+	}
+}

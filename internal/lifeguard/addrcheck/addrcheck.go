@@ -164,6 +164,38 @@ func (a *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 	return s, reports
 }
 
+// wingAgg is AddrCheck's driver-maintained wing aggregate (the SIDE-IN
+// fold): the union of the covered blocks' metadata changes and accesses.
+type wingAgg struct {
+	changes, access *sets.IntervalSet
+}
+
+var _ core.WingAggregator = (*Butterfly)(nil)
+
+// EmptyWings implements core.WingAggregator.
+func (a *Butterfly) EmptyWings() any {
+	return &wingAgg{changes: sets.NewIntervalSet(), access: sets.NewIntervalSet()}
+}
+
+// AddWing implements core.WingAggregator.
+func (a *Butterfly) AddWing(agg any, s core.Summary) any {
+	w, ss := agg.(*wingAgg), sum(s)
+	out := &wingAgg{changes: w.changes.Clone(), access: w.access.Clone()}
+	out.changes.UnionInPlace(ss.GenAny)
+	out.changes.UnionInPlace(ss.KillAny)
+	out.access.UnionInPlace(ss.Access)
+	return out
+}
+
+// MergeWings implements core.WingAggregator.
+func (a *Butterfly) MergeWings(x, y any) any {
+	wx, wy := x.(*wingAgg), y.(*wingAgg)
+	out := &wingAgg{changes: wx.changes.Clone(), access: wx.access.Clone()}
+	out.changes.UnionInPlace(wy.changes)
+	out.access.UnionInPlace(wy.access)
+	return out
+}
+
 // SecondPass implements core.Lifeguard: the isolation check. With s the
 // body's summary and S the union of the wings', the paper flags
 //
@@ -174,16 +206,51 @@ func (a *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 // it; the S.ACCESS ∩ s-changes term flags the body's allocs/frees (the wing
 // access is flagged symmetrically when its own block is the body).
 func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []core.Summary) []core.Report {
-	wingChanges := sets.NewIntervalSet()
-	wingAccess := sets.NewIntervalSet()
-	for _, w := range wings {
-		ws := sum(w)
-		wingChanges.UnionInPlace(ws.GenAny)
-		wingChanges.UnionInPlace(ws.KillAny)
-		wingAccess.UnionInPlace(ws.Access)
+	// The checks only ever ask "does [lo,hi) overlap the wing union?" —
+	// overlap against a union is overlap against any member, so with
+	// driver-folded aggregates each query probes the ≤3 window rows
+	// directly and no per-body union is materialized at all.
+	var aggs [3]*wingAgg
+	nagg, live := 0, false
+	if ctx.WingAggs[1] != nil {
+		for _, agg := range ctx.WingAggs {
+			if agg == nil {
+				continue
+			}
+			w := agg.(*wingAgg)
+			aggs[nagg] = w
+			nagg++
+			live = live || !w.changes.Empty() || !w.access.Empty()
+		}
+	} else {
+		w := &wingAgg{changes: sets.NewIntervalSet(), access: sets.NewIntervalSet()}
+		for _, ws := range wings {
+			s := sum(ws)
+			w.changes.UnionInPlace(s.GenAny)
+			w.changes.UnionInPlace(s.KillAny)
+			w.access.UnionInPlace(s.Access)
+		}
+		aggs[0], nagg = w, 1
+		live = !w.changes.Empty() || !w.access.Empty()
 	}
-	if wingChanges.Empty() && wingAccess.Empty() {
+	if !live {
 		return nil
+	}
+	changed := func(lo, hi uint64) bool {
+		for _, w := range aggs[:nagg] {
+			if w.changes.OverlapsRange(lo, hi) {
+				return true
+			}
+		}
+		return false
+	}
+	accessed := func(lo, hi uint64) bool {
+		for _, w := range aggs[:nagg] {
+			if w.access.OverlapsRange(lo, hi) {
+				return true
+			}
+		}
+		return false
 	}
 	var reports []core.Report
 	for i, e := range b.Events {
@@ -193,14 +260,14 @@ func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 		lo, hi := e.Lo(), e.Hi()
 		switch e.Kind {
 		case trace.Read, trace.Write:
-			if wingChanges.OverlapsRange(lo, hi) {
+			if changed(lo, hi) {
 				reports = append(reports, core.Report{
 					Ref: b.Ref(i), Ev: e, Code: CodeIsolation,
 					Detail: fmt.Sprintf("%v of [%#x,%#x) concurrent with an allocation-state change", e.Kind, lo, hi),
 				})
 			}
 		case trace.Alloc, trace.Free:
-			if wingChanges.OverlapsRange(lo, hi) || wingAccess.OverlapsRange(lo, hi) {
+			if changed(lo, hi) || accessed(lo, hi) {
 				reports = append(reports, core.Report{
 					Ref: b.Ref(i), Ev: e, Code: CodeIsolation,
 					Detail: fmt.Sprintf("%v of [%#x,%#x) concurrent with a conflicting operation", e.Kind, lo, hi),

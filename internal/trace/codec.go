@@ -42,20 +42,63 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 			return err
 		}
 		for _, e := range th {
-			if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			if err := writeEvent(bw, &buf, e); err != nil {
 				return err
-			}
-			for _, v := range [...]uint64{e.Addr, e.Size, e.Src1, e.Src2, e.Cycle} {
-				if err := putUvarint(v); err != nil {
-					return err
-				}
 			}
 		}
 	}
-	if err := putUvarint(uint64(len(tr.Global))); err != nil {
+	if err := writeGlobal(bw, &buf, tr.Global); err != nil {
 		return err
 	}
-	for _, g := range tr.Global {
+	return bw.Flush()
+}
+
+// writeEvent encodes one event (kind byte + five uvarint fields).
+func writeEvent(bw *bufio.Writer, buf *[binary.MaxVarintLen64]byte, e Event) error {
+	if err := bw.WriteByte(byte(e.Kind)); err != nil {
+		return err
+	}
+	for _, v := range [...]uint64{e.Addr, e.Size, e.Src1, e.Src2, e.Cycle} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readEvent decodes one event written by writeEvent.
+func readEvent(br *bufio.Reader) (Event, error) {
+	var e Event
+	kb, err := br.ReadByte()
+	if err != nil {
+		return e, err
+	}
+	if Kind(kb) >= numKinds {
+		return e, fmt.Errorf("bad kind %d", kb)
+	}
+	e.Kind = Kind(kb)
+	for _, dst := range [...]*uint64{&e.Addr, &e.Size, &e.Src1, &e.Src2, &e.Cycle} {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return e, err
+		}
+		*dst = v
+	}
+	return e, nil
+}
+
+// writeGlobal encodes the ground-truth section (count, then refs).
+func writeGlobal(bw *bufio.Writer, buf *[binary.MaxVarintLen64]byte, global []GlobalRef) error {
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(global))); err != nil {
+		return err
+	}
+	for _, g := range global {
 		if err := putUvarint(uint64(g.Thread)); err != nil {
 			return err
 		}
@@ -63,7 +106,35 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
+}
+
+// readGlobal decodes the ground-truth section written by writeGlobal.
+func readGlobal(br *bufio.Reader) ([]GlobalRef, error) {
+	nglobal, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: ground truth count: %w", err)
+	}
+	if nglobal == 0 {
+		return nil, nil
+	}
+	capHint := nglobal
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	global := make([]GlobalRef, 0, capHint)
+	for i := uint64(0); i < nglobal; i++ {
+		th, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: ground truth %d thread: %w", i, err)
+		}
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: ground truth %d index: %w", i, err)
+		}
+		global = append(global, GlobalRef{ThreadID(th), int(idx)})
+	}
+	return global, nil
 }
 
 // ReadBinary decodes a trace written by WriteBinary.
@@ -97,48 +168,19 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		}
 		evs := make([]Event, 0, capHint)
 		for i := uint64(0); i < nev; i++ {
-			kb, err := br.ReadByte()
+			e, err := readEvent(br)
 			if err != nil {
-				return nil, fmt.Errorf("trace: thread %d event %d kind: %w", t, i, err)
-			}
-			if Kind(kb) >= numKinds {
-				return nil, fmt.Errorf("trace: thread %d event %d: bad kind %d", t, i, kb)
-			}
-			var e Event
-			e.Kind = Kind(kb)
-			for _, dst := range [...]*uint64{&e.Addr, &e.Size, &e.Src1, &e.Src2, &e.Cycle} {
-				v, err := binary.ReadUvarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("trace: thread %d event %d field: %w", t, i, err)
-				}
-				*dst = v
+				return nil, fmt.Errorf("trace: thread %d event %d: %w", t, i, err)
 			}
 			evs = append(evs, e)
 		}
 		tr.Threads[t] = evs
 	}
-	nglobal, err := binary.ReadUvarint(br)
+	global, err := readGlobal(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: ground truth count: %w", err)
+		return nil, err
 	}
-	if nglobal > 0 {
-		capHint := nglobal
-		if capHint > 4096 {
-			capHint = 4096
-		}
-		tr.Global = make([]GlobalRef, 0, capHint)
-		for i := uint64(0); i < nglobal; i++ {
-			th, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: ground truth %d thread: %w", i, err)
-			}
-			idx, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: ground truth %d index: %w", i, err)
-			}
-			tr.Global = append(tr.Global, GlobalRef{ThreadID(th), int(idx)})
-		}
-	}
+	tr.Global = global
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}

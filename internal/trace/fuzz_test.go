@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"io"
+	"reflect"
 	"testing"
 )
 
@@ -50,6 +52,108 @@ func FuzzReadBinary(f *testing.F) {
 			t.Fatal("round trip changed the trace")
 		}
 	})
+}
+
+func streamSeed(t interface{ Fatal(args ...any) }) []byte {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][][]Event{
+		{
+			{{Kind: Alloc, Addr: 0x100, Size: 16}, {Kind: Write, Addr: 0x100, Size: 8}},
+			{{Kind: TaintSrc, Addr: 0x200, Size: 4}},
+		},
+		{
+			{{Kind: Free, Addr: 0x100, Size: 16}},
+			{}, // empty block
+		},
+	}
+	for _, row := range rows {
+		if err := sw.WriteEpoch(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close([]GlobalRef{{0, 0}, {1, 0}, {0, 1}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzStreamReader(f *testing.F) {
+	f.Add(streamSeed(f))
+	f.Add([]byte(streamMagic))
+	f.Add(append([]byte(streamMagic), 0x02, 0x01, 0x00))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rows [][][]Event
+		for {
+			row, err := sr.NextEpoch()
+			if err != nil {
+				if err != io.EOF {
+					return // rejected mid-stream; nothing more to check
+				}
+				break
+			}
+			rows = append(rows, row)
+		}
+		// Anything fully accepted must survive a round trip.
+		var buf bytes.Buffer
+		sw, err := NewStreamWriter(&buf, sr.NumThreads())
+		if err != nil {
+			t.Fatalf("re-encode header failed: %v", err)
+		}
+		for _, row := range rows {
+			if err := sw.WriteEpoch(row); err != nil {
+				t.Fatalf("re-encode epoch failed: %v", err)
+			}
+		}
+		if err := sw.Close(sr.Global()); err != nil {
+			t.Fatalf("re-encode close failed: %v", err)
+		}
+		sr2, err := NewStreamReader(&buf)
+		if err != nil {
+			t.Fatalf("re-decode header failed: %v", err)
+		}
+		for i, want := range rows {
+			got, err := sr2.NextEpoch()
+			if err != nil {
+				t.Fatalf("re-decode epoch %d failed: %v", i, err)
+			}
+			if !rowsEqual(got, want) {
+				t.Fatalf("round trip changed epoch %d", i)
+			}
+		}
+		if _, err := sr2.NextEpoch(); err != io.EOF {
+			t.Fatalf("re-decode end: got %v, want EOF", err)
+		}
+		if !reflect.DeepEqual(sr2.Global(), sr.Global()) {
+			t.Fatal("round trip changed the ground truth")
+		}
+	})
+}
+
+// rowsEqual compares epoch rows, treating nil and empty blocks alike.
+func rowsEqual(a, b [][]Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t := range a {
+		if len(a[t]) != len(b[t]) {
+			return false
+		}
+		for i := range a[t] {
+			if a[t][i] != b[t][i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func FuzzReadText(f *testing.F) {

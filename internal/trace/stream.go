@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming trace format:
+//
+//	magic "BFLYS1" | uvarint nthreads
+//	frame*:
+//	  epoch frame: 0x01 | per thread: uvarint nevents | events
+//	  end frame:   0x00 | uvarint n (0 = none) | n × (uvarint thread, uvarint index)
+//
+// Each epoch frame carries one complete epoch row — one (possibly empty)
+// event sequence per thread — so a consumer can analyze epoch l while the
+// producer is still executing epoch l+1: nothing in the format requires the
+// trace length to be known in advance. Unlike the batch format ("BFLY1",
+// codec.go), which stores whole threads back to back and therefore cannot be
+// chunked until fully read, the stream format is the on-the-wire shape of
+// the paper's log: heartbeats become frame boundaries and are not
+// represented as events. The optional ground-truth section of the end frame
+// indexes events by (thread, position among that thread's streamed events).
+
+const streamMagic = "BFLYS1"
+
+// Stream frame type bytes.
+const (
+	frameEnd   = 0x00
+	frameEpoch = 0x01
+)
+
+// maxStreamThreads bounds the header thread count, mirroring ReadBinary's
+// guard against forged headers.
+const maxStreamThreads = 1 << 16
+
+// StreamWriter encodes a trace one epoch row at a time. Epoch rows are
+// written with WriteEpoch; Close writes the end frame (with the optional
+// ground truth) and flushes. A StreamWriter is not safe for concurrent use.
+type StreamWriter struct {
+	bw       *bufio.Writer
+	nthreads int
+	closed   bool
+	buf      [binary.MaxVarintLen64]byte
+}
+
+// NewStreamWriter writes the stream header for nthreads threads to w and
+// returns a writer for the epoch frames.
+func NewStreamWriter(w io.Writer, nthreads int) (*StreamWriter, error) {
+	if nthreads < 0 || nthreads > maxStreamThreads {
+		return nil, fmt.Errorf("trace: unreasonable thread count %d", nthreads)
+	}
+	sw := &StreamWriter{bw: bufio.NewWriter(w), nthreads: nthreads}
+	if _, err := sw.bw.WriteString(streamMagic); err != nil {
+		return nil, err
+	}
+	if err := sw.putUvarint(uint64(nthreads)); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *StreamWriter) putUvarint(v uint64) error {
+	n := binary.PutUvarint(sw.buf[:], v)
+	_, err := sw.bw.Write(sw.buf[:n])
+	return err
+}
+
+// NumThreads returns the thread count declared in the header.
+func (sw *StreamWriter) NumThreads() int { return sw.nthreads }
+
+// WriteEpoch writes one epoch frame. row must hold exactly one event slice
+// per thread (empty slices are fine) and must not contain Heartbeat markers:
+// epoch boundaries are the frames themselves.
+func (sw *StreamWriter) WriteEpoch(row [][]Event) error {
+	if sw.closed {
+		return fmt.Errorf("trace: WriteEpoch after Close")
+	}
+	if len(row) != sw.nthreads {
+		return fmt.Errorf("trace: epoch row has %d threads, want %d", len(row), sw.nthreads)
+	}
+	if err := sw.bw.WriteByte(frameEpoch); err != nil {
+		return err
+	}
+	for t, evs := range row {
+		if err := sw.putUvarint(uint64(len(evs))); err != nil {
+			return err
+		}
+		for _, e := range evs {
+			if e.Kind == Heartbeat {
+				return fmt.Errorf("trace: thread %d: heartbeat marker in stream epoch", t)
+			}
+			if err := writeEvent(sw.bw, &sw.buf, e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close writes the end frame, including the ground-truth section when
+// global is non-nil (refs index each thread's streamed events in order),
+// and flushes the underlying writer.
+func (sw *StreamWriter) Close(global []GlobalRef) error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	if err := sw.bw.WriteByte(frameEnd); err != nil {
+		return err
+	}
+	if err := writeGlobal(sw.bw, &sw.buf, global); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// StreamReader incrementally decodes a stream written by StreamWriter.
+// NextEpoch returns rows until the end frame, after which it returns io.EOF
+// and Global exposes the ground-truth section. A StreamReader is not safe
+// for concurrent use.
+type StreamReader struct {
+	br       *bufio.Reader
+	nthreads int
+	done     bool
+	epoch    int
+	global   []GlobalRef
+}
+
+// NewStreamReader reads the stream header from r.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading stream magic: %w", err)
+	}
+	if string(magic) != streamMagic {
+		return nil, fmt.Errorf("trace: bad stream magic %q", magic)
+	}
+	nthreads, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+	}
+	if nthreads > maxStreamThreads {
+		return nil, fmt.Errorf("trace: unreasonable thread count %d", nthreads)
+	}
+	return &StreamReader{br: br, nthreads: int(nthreads)}, nil
+}
+
+// NumThreads returns the thread count declared in the header.
+func (sr *StreamReader) NumThreads() int { return sr.nthreads }
+
+// NextEpoch decodes the next epoch frame as one event slice per thread.
+// It returns io.EOF after the end frame; a stream truncated before its end
+// frame yields io.ErrUnexpectedEOF instead.
+func (sr *StreamReader) NextEpoch() ([][]Event, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	kind, err := sr.br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: epoch %d frame: %w", sr.epoch, truncated(err))
+	}
+	switch kind {
+	case frameEnd:
+		global, err := readGlobal(sr.br)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		sr.done = true
+		sr.global = global
+		return nil, io.EOF
+	case frameEpoch:
+		row := make([][]Event, sr.nthreads)
+		for t := range row {
+			nev, err := binary.ReadUvarint(sr.br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: epoch %d thread %d count: %w", sr.epoch, t, truncated(err))
+			}
+			// As in ReadBinary, never trust the claimed count for
+			// allocation: grow as data actually arrives.
+			capHint := nev
+			if capHint > 4096 {
+				capHint = 4096
+			}
+			evs := make([]Event, 0, capHint)
+			for i := uint64(0); i < nev; i++ {
+				e, err := readEvent(sr.br)
+				if err != nil {
+					return nil, fmt.Errorf("trace: epoch %d thread %d event %d: %w", sr.epoch, t, i, truncated(err))
+				}
+				if e.Kind == Heartbeat {
+					return nil, fmt.Errorf("trace: epoch %d thread %d event %d: heartbeat marker in stream epoch", sr.epoch, t, i)
+				}
+				evs = append(evs, e)
+			}
+			row[t] = evs
+		}
+		sr.epoch++
+		return row, nil
+	default:
+		return nil, fmt.Errorf("trace: epoch %d: bad frame type %#x", sr.epoch, kind)
+	}
+}
+
+// Global returns the ground-truth section of the end frame. It is nil until
+// NextEpoch has returned io.EOF.
+func (sr *StreamReader) Global() []GlobalRef { return sr.global }
+
+// truncated rewrites an io.EOF inside err to io.ErrUnexpectedEOF: a stream
+// that stops mid-structure is truncated, not complete. Callers wrap the
+// result, so NextEpoch returns bare io.EOF only for a well-formed end frame.
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w (%v)", io.ErrUnexpectedEOF, err)
+	}
+	return err
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func writeStreamRows(t *testing.T, nthreads int, rows [][][]Event, global []GlobalRef) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, nthreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := sw.WriteEpoch(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(global); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readStreamRows(t *testing.T, data []byte) (int, [][][]Event, []GlobalRef) {
+	t.Helper()
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][][]Event
+	for {
+		row, err := sr.NextEpoch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	return sr.NumThreads(), rows, sr.Global()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	rows := [][][]Event{
+		{
+			{{Kind: Alloc, Addr: 0x100, Size: 16}, {Kind: Write, Addr: 0x100, Size: 8}},
+			{{Kind: TaintSrc, Addr: 0x200, Size: 4}},
+		},
+		{
+			{}, // empty block: the grid stays rectangular
+			{{Kind: AssignUn, Addr: 0x10, Src1: 0x200}, {Kind: Jump, Addr: 0x10}},
+		},
+		{
+			{{Kind: Free, Addr: 0x100, Size: 16}},
+			{},
+		},
+	}
+	global := []GlobalRef{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {1, 2}, {0, 2}}
+	data := writeStreamRows(t, 2, rows, global)
+
+	nt, got, gotGlobal := readStreamRows(t, data)
+	if nt != 2 {
+		t.Fatalf("NumThreads = %d, want 2", nt)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("rows round trip:\n got %v\nwant %v", got, rows)
+	}
+	if !reflect.DeepEqual(gotGlobal, global) {
+		t.Fatalf("global round trip: got %v, want %v", gotGlobal, global)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	data := writeStreamRows(t, 3, nil, nil)
+	nt, rows, global := readStreamRows(t, data)
+	if nt != 3 || rows != nil || global != nil {
+		t.Fatalf("empty stream decoded to nt=%d rows=%v global=%v", nt, rows, global)
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	rows := [][][]Event{{
+		{{Kind: Write, Addr: 0x10, Size: 4}},
+		{{Kind: Read, Addr: 0x10, Size: 4}},
+	}}
+	data := writeStreamRows(t, 2, rows, nil)
+	for cut := 0; cut < len(data); cut++ {
+		sr, err := NewStreamReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			continue // truncated header: fine, as long as it errors
+		}
+		sawEOF := false
+		for {
+			_, err := sr.NextEpoch()
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				sawEOF = true
+			}
+			break
+		}
+		if sawEOF {
+			t.Fatalf("cut at %d/%d: truncated stream reported clean io.EOF", cut, len(data))
+		}
+	}
+}
+
+func TestStreamRejectsHeartbeat(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEpoch([][]Event{{{Kind: Heartbeat}}}); err == nil {
+		t.Fatal("WriteEpoch accepted a heartbeat marker")
+	}
+
+	// A hand-forged frame containing a heartbeat must be rejected on read.
+	forged := writeStreamRows(t, 1, [][][]Event{{{{Kind: Nop}}}}, nil)
+	hb := bytes.Replace(forged, []byte{frameEpoch, 1, byte(Nop)}, []byte{frameEpoch, 1, byte(Heartbeat)}, 1)
+	sr, err := NewStreamReader(bytes.NewReader(hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.NextEpoch(); err == nil {
+		t.Fatal("NextEpoch accepted a heartbeat marker")
+	}
+}
+
+func TestStreamRowShapeChecked(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEpoch([][]Event{{}}); err == nil {
+		t.Fatal("WriteEpoch accepted a row with the wrong thread count")
+	}
+	if err := sw.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEpoch([][]Event{{}, {}}); err == nil {
+		t.Fatal("WriteEpoch accepted a row after Close")
+	}
+}
+
+func TestStreamBadMagic(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("BFLY1\x01"))); err == nil {
+		t.Fatal("batch magic accepted as a stream")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("empty input: got %v", err)
+	}
+}
