@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench ci clean
+.PHONY: all build test race vet fuzz bench bench-obs ci clean
 
 all: build
 
@@ -24,7 +24,15 @@ fuzz:
 
 # Batch-vs-stream driver microbenchmarks (bytes in, reports out).
 bench:
-	$(GO) test ./internal/core -run XXX -bench 'BenchmarkDriver(Batch|Stream)' -benchtime 3x
+	$(GO) test ./internal/core -run XXX -bench 'BenchmarkDriver(Batch|Stream)$$' -benchtime 3x
+
+# Telemetry overhead guard: the streaming pipeline uninstrumented, with a
+# registry, and with registry + span recorder, plus the per-hook
+# microbenchmarks. The instr=nil row must track `make bench` within noise
+# (<3%); see EXPERIMENTS.md "Telemetry overhead".
+bench-obs:
+	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 3x -count 3
+	$(GO) test ./internal/obs -run XXX -bench . -benchtime 1s
 
 # The gate a change must pass before it lands.
 ci: vet build race

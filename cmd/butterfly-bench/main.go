@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"butterfly/internal/bench"
+	"butterfly/internal/obs"
 )
 
 func main() {
@@ -34,8 +35,20 @@ func main() {
 		apps    = flag.String("apps", "", "comma-separated benchmark subset (default: all six)")
 		seed    = flag.Int64("seed", 42, "simulation seed")
 		seq     = flag.Bool("seq", false, "run the butterfly driver sequentially (deterministic report order)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof while the sweeps run")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, obs.New())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "butterfly-bench: debug server on http://%s (profile a sweep with: go tool pprof http://%s/debug/pprof/profile?seconds=10)\n",
+			ds.Addr(), ds.Addr())
+	}
 
 	o := bench.DefaultOptions()
 	if *scale > 0 {

@@ -16,9 +16,16 @@
 // arrive — stdin piping works without buffering the whole trace — and only
 // the sliding window is held in memory. Streamed traces carry no heartbeats
 // or ground truth, so -stream excludes -h, -text and -compare.
+//
+// Telemetry (DESIGN.md §9): -stats prints an end-of-run summary (epochs/sec,
+// per-stage p50/p99 latencies, peak window size), -trace-out writes a
+// Perfetto-loadable Chrome trace with one span per (epoch, thread, stage),
+// -progress N heartbeats to stderr every N epochs, and -debug-addr serves
+// Prometheus /metrics, expvar and pprof while the run is live.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +39,7 @@ import (
 	"butterfly/internal/lifeguard/lockset"
 	"butterfly/internal/lifeguard/memcheck"
 	"butterfly/internal/lifeguard/taintcheck"
+	"butterfly/internal/obs"
 	"butterfly/internal/trace"
 )
 
@@ -46,6 +54,11 @@ func main() {
 		maxShow  = flag.Int("max-reports", 20, "print at most this many reports")
 		text     = flag.Bool("text", false, "input is in text format")
 		stream   = flag.Bool("stream", false, "input is in the streaming format; analyze incrementally")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
+		stats     = flag.Bool("stats", false, "print an end-of-run metrics summary (epochs/sec, stage p50/p99, peak window)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto) with one span per (epoch, thread, stage)")
+		progress  = flag.Int("progress", 0, "print a heartbeat to stderr every N epochs (0 = off)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,26 @@ func main() {
 		name = flag.Arg(0)
 	}
 
+	// Telemetry: a registry when anything will read it, a trace recorder
+	// when spans will be exported. Leaving both nil keeps the driver's hot
+	// paths uninstrumented.
+	var reg *obs.Registry
+	if *stats || *progress > 0 || *debugAddr != "" {
+		reg = obs.New()
+	}
+	var rec *obs.TraceRecorder
+	if *traceOut != "" {
+		rec = obs.NewTraceRecorder()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "butterfly-run: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr())
+	}
+
 	var tr *trace.Trace
 	var g *epoch.Grid
 	var src core.BlockSource
@@ -76,6 +109,7 @@ func main() {
 		if err != nil {
 			fatalf("reading %s: %v", name, err)
 		}
+		sr.Instrument(reg)
 		src = epoch.NewStreamRows(sr)
 	} else {
 		if *text {
@@ -119,7 +153,11 @@ func main() {
 		fatalf("unknown lifeguard %q", *lgName)
 	}
 
-	d := &core.Driver{LG: lg, Parallel: !*seq}
+	d := &core.Driver{LG: lg, Parallel: !*seq, Obs: reg, Trace: rec}
+	var mon *obs.Progress
+	if *progress > 0 {
+		mon = obs.StartProgress(os.Stderr, reg, *progress)
+	}
 	var res *core.Result
 	var nthreads int
 	if *stream {
@@ -132,6 +170,26 @@ func main() {
 		res = d.Run(g)
 		nthreads = g.NumThreads
 	}
+	if mon != nil {
+		mon.Stop()
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		bw := bufio.NewWriter(f)
+		if err := rec.WriteJSON(bw); err == nil {
+			err = bw.Flush()
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatalf("writing %s: %v", *traceOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "butterfly-run: wrote %d spans to %s (open in https://ui.perfetto.dev)\n", rec.NumSpans(), *traceOut)
+	}
 	fmt.Printf("%s: %d threads, %d epochs, %d events → %d reports\n",
 		lg.Name(), nthreads, res.Epochs, res.Events, len(res.Reports))
 	for i, r := range res.Reports {
@@ -140,6 +198,9 @@ func main() {
 			break
 		}
 		fmt.Printf("  %v\n", r)
+	}
+	if *stats {
+		fmt.Print(reg.Summary())
 	}
 
 	if *compare {

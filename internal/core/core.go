@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"butterfly/internal/epoch"
+	"butterfly/internal/obs"
 	"butterfly/internal/trace"
 )
 
@@ -169,6 +170,16 @@ type Driver struct {
 	// inspection by tests and the experiment harness. Long runs should leave
 	// it false: the driver then retains only the sliding window.
 	KeepHistory bool
+	// Obs, when non-nil, receives run telemetry: per-stage latency
+	// histograms, epoch/event/report counters, window and SOS sizes
+	// (metric names in internal/obs, semantics in DESIGN.md §9). Nil keeps
+	// the hot paths free of instrumentation cost; instrumented and
+	// uninstrumented runs produce identical Results.
+	Obs *obs.Registry
+	// Trace, when non-nil, records one span per (epoch, thread, stage) for
+	// Chrome trace-event export (obs.TraceRecorder.WriteJSON), making the
+	// pipelined F(l)/S(l−1)/SOS overlap visible in Perfetto.
+	Trace *obs.TraceRecorder
 }
 
 // Result is the outcome of a Driver.Run.
@@ -199,6 +210,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 	// lifeguard aggregates wings, aggRows[l][t] is the fold of epoch l's
 	// summaries excluding thread t, maintained over the same window.
 	sums := make([][]Summary, L)
+	m := d.metrics(T)
 	wa, _ := d.LG.(WingAggregator)
 	var aggRows [][]any
 	if wa != nil {
@@ -228,19 +240,23 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		out := make([]Summary, T)
 		reports := make([][]Report, T)
 		run := func(t int) {
+			start := m.now()
 			c := ctx
 			if c.Epoch1Back != nil {
 				c.Head = c.Epoch1Back[t]
 			}
 			out[t], reports[t] = d.LG.FirstPass(g.Block(l, trace.ThreadID(t)), c)
+			m.stageDone(stageFirstPass, l, tidWorker(t), start)
 		}
 		d.forEachThread(T, run)
 		sums[l] = out
 		if wa != nil {
 			aggRows[l] = exclAggRow(wa, out)
+			m.wingFolded(T)
 		}
 		for t := 0; t < T; t++ {
 			res.Reports = append(res.Reports, reports[t]...)
+			m.countReports(reports[t])
 		}
 	}
 
@@ -249,6 +265,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		aggs := [3][]any{aggAt(l - 1), aggAt(l), aggAt(l + 1)}
 		reports := make([][]Report, T)
 		run := func(t int) {
+			start := m.now()
 			c := ctx
 			if c.Epoch1Back != nil {
 				c.Head = c.Epoch1Back[t]
@@ -272,21 +289,33 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 				}
 			}
 			reports[t] = d.LG.SecondPass(g.Block(l, trace.ThreadID(t)), c, wings)
+			m.stageDone(stageSecondPass, l, tidWorker(t), start)
 		}
 		d.forEachThread(T, run)
 		for t := 0; t < T; t++ {
 			res.Reports = append(res.Reports, reports[t]...)
+			m.countReports(reports[t])
 		}
 	}
 
 	for l := 0; l < L; l++ {
 		if l >= 2 {
 			// SOSₗ = GEN_{l−2} ∪ (SOS_{l−1} − KILL_{l−2}).
+			start := m.now()
 			sos[l] = d.LG.UpdateSOS(sos[l-1], sumAt(l-3), sumAt(l-2))
+			m.stageDone(stageSOSUpdate, l, tidDriver, start)
+			m.sosUpdated(sos[l])
 		}
 		firstPass(l)
 		if l >= 1 {
 			secondPass(l - 1)
+		}
+		if m != nil {
+			ev := 0
+			for t := 0; t < T; t++ {
+				ev += g.Block(l, trace.ThreadID(t)).Len()
+			}
+			m.epochDone(ev, T)
 		}
 		if l >= 4 {
 			// Epoch l−4 can no longer be referenced by any pass or update.
@@ -302,7 +331,10 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 	// Final SOS updates for the epochs past the end.
 	for l := L; l < L+2; l++ {
 		if l >= 2 {
+			start := m.now()
 			sos[l] = d.LG.UpdateSOS(sos[l-1], sumAt(l-3), sumAt(l-2))
+			m.stageDone(stageSOSUpdate, l, tidDriver, start)
+			m.sosUpdated(sos[l])
 		}
 	}
 	res.FinalSOS = sos[L+1]

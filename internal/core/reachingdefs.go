@@ -60,6 +60,9 @@ func (rd *ReachingDefs) Name() string { return "reaching-definitions" }
 // BottomState implements Lifeguard: SOS₀ = ∅.
 func (rd *ReachingDefs) BottomState() State { return sets.NewSet() }
 
+// StateSize implements StateSizer: the number of reaching definitions.
+func (rd *ReachingDefs) StateSize(s State) int { return s.(sets.Set).Len() }
+
 func rdSum(s Summary) *RDSummary {
 	if s == nil {
 		return nil

@@ -56,6 +56,9 @@ func (re *ReachingExprs) Name() string { return "reaching-expressions" }
 // before the program computes it.)
 func (re *ReachingExprs) BottomState() State { return sets.NewSet() }
 
+// StateSize implements StateSizer: the number of available expressions.
+func (re *ReachingExprs) StateSize(s State) int { return s.(sets.Set).Len() }
+
 func reSum(s Summary) *RESummary {
 	if s == nil {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"butterfly/internal/epoch"
 )
@@ -61,25 +62,26 @@ func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 	if T == 0 {
 		// Match Run on an empty grid, but drain the source so a stream
 		// with a malformed tail still reports its error.
-		for {
+		for l := 0; ; l++ {
 			if _, err := src.NextEpoch(); err == io.EOF {
 				res.FinalSOS = d.LG.BottomState()
 				return res, nil
 			} else if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("core: reading epoch %d: %w", l, err)
 			}
 		}
 	}
 
 	st := &streamState{d: d, T: T, res: res}
 	st.wa, _ = d.LG.(WingAggregator)
+	st.m = d.metrics(T)
 	st.sosCur = d.LG.BottomState() // SOS₀
 	if d.Parallel && T > 1 {
 		st.pipe = newStreamPipeline(d.LG, T)
 		defer st.pipe.shutdown()
 	}
 
-	next, stop := startPrefetch(src, st.pipe != nil)
+	next, stop := startPrefetch(src, st.pipe != nil, st.m, T)
 	defer stop()
 	for {
 		row, err := next()
@@ -87,7 +89,7 @@ func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: reading epoch %d: %w", st.l, err)
 		}
 		if err := st.checkRow(row); err != nil {
 			return nil, err
@@ -102,9 +104,27 @@ func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 // source is drained on a dedicated goroutine so decoding epoch l+1 overlaps
 // the analysis of epoch l; otherwise rows are pulled synchronously (the
 // serial mode stays deterministic and single-goroutine, like Run).
-func startPrefetch(src BlockSource, async bool) (next func() ([]*epoch.Block, error), stop func()) {
+//
+// With metrics attached, both modes time each decode (stage.decode.ns plus
+// a span on the decoder row); the async mode additionally reports the
+// queue depth seen at each consume, the analysis-side wait for the next
+// row, and the two stall counters (analysis starved vs decoder blocked).
+func startPrefetch(src BlockSource, async bool, m *driverMetrics, T int) (next func() ([]*epoch.Block, error), stop func()) {
 	if !async {
-		return src.NextEpoch, func() {}
+		if m == nil {
+			return src.NextEpoch, func() {}
+		}
+		l := 0
+		next = func() ([]*epoch.Block, error) {
+			start := time.Now()
+			row, err := src.NextEpoch()
+			if err == nil {
+				m.stageDone(stageDecode, l, tidDecoder(T), start)
+			}
+			l++
+			return row, err
+		}
+		return next, func() {}
 	}
 	type rowMsg struct {
 		row []*epoch.Block
@@ -114,10 +134,30 @@ func startPrefetch(src BlockSource, async bool) (next func() ([]*epoch.Block, er
 	quit := make(chan struct{})
 	go func() {
 		defer close(rows)
-		for {
+		for l := 0; ; l++ {
+			start := m.now()
 			row, err := src.NextEpoch()
+			if err == nil {
+				m.stageDone(stageDecode, l, tidDecoder(T), start)
+			}
+			msg := rowMsg{row, err}
+			if m != nil {
+				// Non-blocking attempt first, so a full queue (the decoder
+				// running ahead of analysis — the healthy state) is counted.
+				select {
+				case rows <- msg:
+					if err != nil {
+						return
+					}
+					continue
+				case <-quit:
+					return
+				default:
+					m.decodeStalls.Inc()
+				}
+			}
 			select {
-			case rows <- rowMsg{row, err}:
+			case rows <- msg:
 			case <-quit:
 				return
 			}
@@ -128,11 +168,24 @@ func startPrefetch(src BlockSource, async bool) (next func() ([]*epoch.Block, er
 	}()
 	var stopOnce sync.Once
 	next = func() ([]*epoch.Block, error) {
-		m, ok := <-rows
+		if m != nil {
+			if len(rows) == 0 {
+				m.prefetchStalls.Inc()
+			}
+			m.prefetchDepth.ObserveInt(int64(len(rows)))
+			start := time.Now()
+			msg, ok := <-rows
+			m.prefetchWait.Observe(time.Since(start))
+			if !ok {
+				return nil, io.EOF
+			}
+			return msg.row, msg.err
+		}
+		msg, ok := <-rows
 		if !ok {
 			return nil, io.EOF
 		}
-		return m.row, m.err
+		return msg.row, msg.err
 	}
 	stop = func() { stopOnce.Do(func() { close(quit) }) }
 	return next, stop
@@ -145,6 +198,12 @@ type streamState struct {
 	T    int
 	res  *Result
 	pipe *streamPipeline
+	m    *driverMetrics
+
+	// winEvents[k%streamWindow] is epoch k's event count for the epochs the
+	// window retains; its sum is the window.events gauge. Maintained only
+	// when metrics are attached.
+	winEvents [streamWindow]int
 
 	// sums[k%streamWindow] holds epoch k's summaries for k in l−3..l.
 	sums [streamWindow][]Summary
@@ -198,13 +257,17 @@ func (st *streamState) rowAggs(k int) []any {
 // then the SOS update producing SOS_{l+1}.
 func (st *streamState) tick(row []*epoch.Block) {
 	d, l := st.d, st.l
+	rowEvents := 0
 	for _, b := range row {
-		st.res.Events += b.Len()
+		rowEvents += b.Len()
 	}
+	st.res.Events += rowEvents
 	w := &tickWork{
 		runF:    true,
 		runS:    l >= 1,
 		wa:      st.wa,
+		m:       st.m,
+		epoch:   l,
 		fBlocks: row,
 		fOut:    make([]Summary, st.T),
 		fctx:    PassContext{SOS: st.sosCur, Epoch1Back: st.rowSums(l - 1), Epoch2Back: st.rowSums(l - 2)},
@@ -231,7 +294,19 @@ func (st *streamState) tick(row []*epoch.Block) {
 	if l == 0 {
 		sosNext = d.LG.BottomState()
 	} else {
+		start := st.m.now()
 		sosNext = d.LG.UpdateSOS(st.sosCur, st.rowSums(l-2), st.rowSums(l-1))
+		st.m.stageDone(stageSOSUpdate, l+1, tidDriver, start)
+		st.m.sosUpdated(sosNext)
+	}
+	if st.m != nil {
+		st.winEvents[l%streamWindow] = rowEvents
+		var held int64
+		for _, v := range st.winEvents {
+			held += int64(v)
+		}
+		st.m.windowSet(held)
+		st.m.epochDone(rowEvents, st.T)
 	}
 	if d.KeepHistory {
 		if l == 0 {
@@ -258,6 +333,8 @@ func (st *streamState) finish() {
 	w := &tickWork{
 		runS:    true,
 		wa:      st.wa,
+		m:       st.m,
+		epoch:   L,
 		sBlocks: st.prevBlocks,
 		sctx:    PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(L - 2), Epoch2Back: st.rowSums(L - 3)},
 		// Epoch L does not exist; the tail wing is clipped.
@@ -266,7 +343,10 @@ func (st *streamState) finish() {
 	}
 	st.exec(w)
 	st.collect(w)
+	start := st.m.now()
 	final := d.LG.UpdateSOS(st.sosCur, st.rowSums(L-2), st.rowSums(L-1))
+	st.m.stageDone(stageSOSUpdate, L+1, tidDriver, start)
+	st.m.sosUpdated(final)
 	if d.KeepHistory {
 		st.res.SOSHistory = append(st.res.SOSHistory, final)
 	}
@@ -291,13 +371,17 @@ func (st *streamState) exec(w *tickWork) {
 	// barrier enforces in pipelined mode.
 	if w.runF {
 		for t := 0; t < st.T; t++ {
+			start := w.m.now()
 			w.firstPass(st.d.LG, t)
+			w.m.stageDone(stageFirstPass, w.epoch, tidWorker(t), start)
 		}
 	}
 	w.foldAggs()
 	if w.runS {
 		for t := 0; t < st.T; t++ {
+			start := w.m.now()
 			w.secondPass(st.d.LG, t)
+			w.m.stageDone(stageSecondPass, w.epoch-1, tidWorker(t), start)
 		}
 	}
 }
@@ -306,9 +390,11 @@ func (st *streamState) exec(w *tickWork) {
 func (st *streamState) collect(w *tickWork) {
 	for _, reps := range w.fReports {
 		st.res.Reports = append(st.res.Reports, reps...)
+		st.m.countReports(reps)
 	}
 	for _, reps := range w.sReports {
 		st.res.Reports = append(st.res.Reports, reps...)
+		st.m.countReports(reps)
 	}
 }
 
@@ -317,6 +403,8 @@ func (st *streamState) collect(w *tickWork) {
 type tickWork struct {
 	runF, runS bool
 	wa         WingAggregator // non-nil when the lifeguard aggregates wings
+	m          *driverMetrics // nil when the driver is uninstrumented
+	epoch      int            // l: the first-pass epoch (second pass covers l−1)
 
 	// First pass over epoch l.
 	fBlocks  []*epoch.Block
@@ -343,6 +431,7 @@ func (w *tickWork) foldAggs() {
 		return
 	}
 	w.fAgg = exclAggRow(w.wa, w.fOut)
+	w.m.wingFolded(len(w.fOut))
 	if w.runS {
 		w.sAggs[2] = w.fAgg
 	}
@@ -421,22 +510,31 @@ func (p *streamPipeline) shutdown() {
 
 func (p *streamPipeline) worker(t int) {
 	for w := range p.start[t] {
+		m := w.m
 		if w.runF {
+			start := m.now()
 			w.firstPass(p.lg, t)
+			m.stageDone(stageFirstPass, w.epoch, tidWorker(t), start)
 		}
 		// All first passes complete before any second pass reads the new
 		// row as a wing — the same guarantee Run's per-pass join provides.
+		bstart := m.now()
 		p.bar.await()
+		m.barrierDone(bstart)
 		if w.wa != nil {
 			// Worker 0 folds the fresh row's wing aggregates while the
 			// others wait; the extra barrier publishes the fold.
 			if t == 0 {
 				w.foldAggs()
 			}
+			bstart = m.now()
 			p.bar.await()
+			m.barrierDone(bstart)
 		}
 		if w.runS {
+			start := m.now()
 			w.secondPass(p.lg, t)
+			m.stageDone(stageSecondPass, w.epoch-1, tidWorker(t), start)
 		}
 		p.done.Done()
 	}

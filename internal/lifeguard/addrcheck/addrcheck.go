@@ -79,6 +79,12 @@ func (a *Butterfly) Name() string { return "addrcheck" }
 // BottomState implements core.Lifeguard: nothing is allocated initially.
 func (a *Butterfly) BottomState() core.State { return sets.NewIntervalSet() }
 
+// StateSize implements core.StateSizer: the number of disjoint allocated
+// intervals in the SOS (its metadata footprint, not its byte coverage).
+func (a *Butterfly) StateSize(s core.State) int {
+	return s.(*sets.IntervalSet).NumIntervals()
+}
+
 // relevant reports whether AddrCheck monitors this event.
 func (a *Butterfly) relevant(e trace.Event) bool {
 	switch e.Kind {

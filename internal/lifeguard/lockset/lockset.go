@@ -91,6 +91,12 @@ func (l *Butterfly) BottomState() core.State {
 	return &state{perLoc: map[uint64]*cand{}}
 }
 
+// StateSize implements core.StateSizer: the number of locations with a
+// tracked candidate lockset.
+func (l *Butterfly) StateSize(s core.State) int {
+	return len(s.(*state).perLoc)
+}
+
 func sum(s core.Summary) *Summary {
 	if s == nil {
 		return nil

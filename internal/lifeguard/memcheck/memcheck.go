@@ -71,6 +71,12 @@ func (m *Butterfly) Name() string { return "memcheck" }
 // BottomState implements core.Lifeguard: nothing is defined initially.
 func (m *Butterfly) BottomState() core.State { return sets.NewIntervalSet() }
 
+// StateSize implements core.StateSizer: the number of disjoint defined
+// intervals in the SOS.
+func (m *Butterfly) StateSize(s core.State) int {
+	return s.(*sets.IntervalSet).NumIntervals()
+}
+
 func (m *Butterfly) relevant(e trace.Event) bool {
 	switch e.Kind {
 	case trace.Read, trace.Write, trace.Alloc, trace.Free:

@@ -156,6 +156,12 @@ func (tc *Butterfly) Name() string { return "taintcheck" }
 // BottomState implements core.Lifeguard: nothing is tainted initially.
 func (tc *Butterfly) BottomState() core.State { return sets.NewSet() }
 
+// StateSize implements core.StateSizer: the number of tainted locations in
+// the SOS.
+func (tc *Butterfly) StateSize(s core.State) int {
+	return s.(sets.Set).Len()
+}
+
 func sum(s core.Summary) *Summary {
 	if s == nil {
 		return nil

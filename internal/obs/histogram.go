@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers every non-negative int64: bucket i holds values whose
+// bit length is i, i.e. bucket 0 = {0} and bucket i = [2^(i−1), 2^i) for
+// i ≥ 1. Power-of-two buckets give ≤ 2× relative error on quantiles with a
+// single bits.Len64 on the record path — no search, no configuration.
+const numBuckets = 64
+
+// Histogram is a fixed-bucket histogram of non-negative int64 values with
+// power-of-two bucket bounds. Recording is wait-free (three atomic adds
+// plus a CAS max); reads are approximate under concurrent writes, which is
+// fine for monitoring. The zero value is ready to use; a nil *Histogram
+// ignores writes and reads as zero.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records a duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) { h.ObserveInt(int64(d)) }
+
+// ObserveInt records a value (negative values clamp to zero).
+func (h *Histogram) ObserveInt(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the arithmetic mean of the observations, 0 if none.
+func (h *Histogram) Mean() int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / n
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// upper bound of the bucket containing the rank-⌈qN⌉ observation, capped
+// at the observed maximum. The bound is within 2× of the true quantile.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			var hi int64
+			if i == 0 {
+				hi = 0
+			} else {
+				hi = int64(1)<<uint(i) - 1
+			}
+			if m := h.max.Load(); hi > m {
+				hi = m
+			}
+			return hi
+		}
+	}
+	return h.max.Load()
+}
+
+// Buckets returns the non-cumulative bucket counts along with each
+// bucket's inclusive upper bound, skipping empty buckets. Used by the
+// Prometheus exposition.
+func (h *Histogram) Buckets() (bounds, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		var hi int64
+		if i > 0 {
+			hi = int64(1)<<uint(i) - 1
+		}
+		bounds = append(bounds, hi)
+		counts = append(counts, c)
+	}
+	return bounds, counts
+}

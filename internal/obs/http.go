@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "butterfly"
+
+// promName mangles a registry name ("stage.first_pass.ns",
+// "reports.addrcheck.double-alloc") into a legal Prometheus metric name.
+func promName(name string) string {
+	mangled := strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
+	return promNamespace + "_" + mangled
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as-is, histograms as
+// cumulative le-bucketed histograms with _count/_sum series. Values whose
+// name ends in ".ns" stay in nanoseconds; the unit is part of the name, as
+// the convention requires.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.Each(func(name string, metric any) {
+		pn := promName(name)
+		switch m := metric.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, m.Value())
+		case *Histogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+			bounds, counts := m.Buckets()
+			var cum int64
+			for i, hi := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, hi, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, m.Count())
+			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, m.Sum(), pn, m.Count())
+		}
+	})
+}
+
+// expvarOnce guards expvar.Publish, which panics on duplicate names. Only
+// the first registry of the process is exported under "butterfly"; debug
+// servers for later registries still serve /metrics correctly.
+var expvarOnce sync.Once
+
+// publishExpvar exposes the registry's Snapshot under the "butterfly"
+// expvar, alongside the runtime's memstats on /debug/vars.
+func (r *Registry) publishExpvar() {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish(promNamespace, expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// DebugServer is the -debug-addr HTTP server: /metrics (Prometheus text),
+// /debug/vars (expvar) and /debug/pprof/* (CPU, heap, goroutine, ...).
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer serves the debug endpoints for reg on addr (e.g.
+// "localhost:6060"; ":0" picks a free port — see Addr). It returns as soon
+// as the listener is bound; the server runs until Close.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	reg.publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *DebugServer) Addr() string { return ds.ln.Addr().String() }
+
+// Close shuts the server down.
+func (ds *DebugServer) Close() error { return ds.srv.Close() }

@@ -1,0 +1,235 @@
+// Package obs is the telemetry layer of the butterfly drivers: a
+// lock-cheap metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms), a Chrome trace-event recorder that makes the
+// pipelined F(l) ∥ S(l−1) ∥ SOS overlap visible in Perfetto, a debug HTTP
+// server (Prometheus text + expvar + net/http/pprof), a progress heartbeat
+// and an end-of-run summary table.
+//
+// Everything is designed so that *absence* of instrumentation costs
+// (almost) nothing: every method on *Registry, *Counter, *Gauge,
+// *Histogram and *TraceRecorder is safe on a nil receiver and returns
+// immediately, so call sites resolve handles once and call through them
+// unconditionally. The drivers additionally guard their time.Now calls on
+// a single nil check per stage (see internal/core/metrics.go), keeping the
+// nil-registry hot path within noise of the uninstrumented driver — the
+// guard is `make bench-obs`.
+//
+// Metric values are int64 throughout. By convention a histogram whose name
+// ends in ".ns" records durations in nanoseconds and is rendered as a
+// duration; anything else is a plain quantity (queue depths, set sizes).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical metric names reported by the drivers. The one-line meanings
+// live in DESIGN.md §9; keeping the names here makes the CLI, the progress
+// monitor and the summary renderer agree with the drivers by construction.
+const (
+	// Counters.
+	MetricEpochs        = "driver.epochs"          // epochs fully analyzed
+	MetricEvents        = "driver.events"          // application events analyzed
+	MetricBlocks        = "driver.blocks"          // blocks (epoch × thread) analyzed
+	MetricWingFoldRows  = "wing.fold_rows"         // epoch rows folded into exclusive wing aggregates
+	MetricWingFoldOps   = "wing.fold_ops"          // AddWing/MergeWings calls performed by those folds
+	MetricPrefetchStall = "prefetch.stalls"        // analysis found the prefetch queue empty
+	MetricDecodeStall   = "prefetch.decode_stalls" // decoder found the prefetch queue full
+	// ReportsPrefix + <report code> counts reports by kind (e.g.
+	// "reports.addrcheck.concurrent-metadata-change").
+	ReportsPrefix = "reports."
+
+	// Histograms (".ns" suffix ⇒ nanosecond durations).
+	MetricFirstPassNs   = "stage.first_pass.ns"   // one observation per (epoch, thread)
+	MetricSecondPassNs  = "stage.second_pass.ns"  // one observation per (epoch, thread)
+	MetricSOSUpdateNs   = "stage.sos_update.ns"   // one observation per epoch (single writer)
+	MetricDecodeNs      = "stage.decode.ns"       // one observation per decoded epoch row
+	MetricBarrierWaitNs = "stage.barrier_wait.ns" // per worker per barrier crossing
+	MetricPrefetchWait  = "prefetch.wait.ns"      // analysis-side wait for the next row
+	MetricPrefetchDepth = "prefetch.depth"        // queue depth seen at each consume
+
+	// Gauges.
+	MetricWindowEvents = "window.events"      // events held in the live sliding window
+	MetricWindowPeak   = "window.peak_events" // high-water mark of window.events
+	MetricSOSSize      = "sos.size"           // lifeguard SOS cardinality after each update
+	MetricSOSPeak      = "sos.peak_size"      // high-water mark of sos.size
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready to
+// use; a nil *Counter ignores writes and reads as zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level. The zero value is ready to use; a nil
+// *Gauge ignores writes and reads as zero.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// lock-free high-water-mark operation behind the *.peak_* gauges.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds named metrics. Lookup (Counter/Gauge/Histogram) takes a
+// mutex and is meant for setup paths; hot paths resolve handles once and
+// use the returned pointers, whose operations are single atomic
+// instructions. All methods are safe on a nil *Registry: lookups return
+// nil handles, which in turn ignore all operations.
+type Registry struct {
+	mu    sync.Mutex
+	m     map[string]any
+	start time.Time
+}
+
+// New returns an empty registry. Its creation time anchors the elapsed
+// time and rates shown by Summary.
+func New() *Registry {
+	return &Registry{m: map[string]any{}, start: time.Now()}
+}
+
+// Start returns the registry's creation time.
+func (r *Registry) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// lookup returns the metric registered under name, creating it with mk on
+// first use. Registering one name with two different types panics: metric
+// names are a compile-time-style contract, so a collision is a bug.
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.m[name]; ok {
+		t, ok := m.(*T)
+		if !ok {
+			panic("obs: metric " + name + " registered with a different type")
+		}
+		return t
+	}
+	t := mk()
+	r.m[name] = t
+	return t
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram registered under name, creating it if new.
+func (r *Registry) Histogram(name string) *Histogram {
+	return lookup(r, name, func() *Histogram { return &Histogram{} })
+}
+
+// Each calls fn for every registered metric in name order. The metric is
+// one of *Counter, *Gauge or *Histogram.
+func (r *Registry) Each(fn func(name string, metric any)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	metrics := make([]any, len(names))
+	for i, name := range names {
+		metrics[i] = r.m[name]
+	}
+	r.mu.Unlock()
+	for i, name := range names {
+		fn(name, metrics[i])
+	}
+}
+
+// Snapshot returns a plain map of every metric's current value — counters
+// and gauges as int64, histograms as a nested map with count/sum/quantiles.
+// It is the expvar representation of the registry.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	r.Each(func(name string, metric any) {
+		switch m := metric.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			out[name] = map[string]any{
+				"count": m.Count(),
+				"sum":   m.Sum(),
+				"p50":   m.Quantile(0.50),
+				"p99":   m.Quantile(0.99),
+				"max":   m.Max(),
+			}
+		}
+	})
+	return out
+}

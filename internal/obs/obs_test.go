@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersRaceSafe hammers one registry from many goroutines; under
+// `go test -race` this doubles as the data-race proof for the whole
+// metrics layer (atomic counters/gauges/histograms, mutexed lookup).
+func TestCountersRaceSafe(t *testing.T) {
+	reg := New()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("shared.counter")
+			g := reg.Gauge("shared.gauge")
+			p := reg.Gauge("shared.peak")
+			h := reg.Histogram("shared.hist.ns")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				p.SetMax(int64(w*iters + i))
+				h.ObserveInt(int64(i))
+				if i%64 == 0 {
+					// Concurrent lookups race against the writers.
+					reg.Counter("shared.counter").Add(0)
+					reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("shared.counter").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := reg.Gauge("shared.peak").Value(); got != (workers-1)*iters+iters-1 {
+		t.Errorf("peak gauge = %d, want %d", got, (workers-1)*iters+iters-1)
+	}
+	if got := reg.Histogram("shared.hist.ns").Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("x").Set(1)
+	reg.Histogram("x").Observe(time.Second)
+	reg.Each(func(string, any) { t.Error("Each on nil registry called fn") })
+	if reg.Counter("x") != nil {
+		t.Error("nil registry returned non-nil counter")
+	}
+	if got := reg.Summary(); !strings.Contains(got, "epochs 0") {
+		t.Errorf("nil registry summary = %q", got)
+	}
+	var tr *TraceRecorder
+	tr.Span(0, "x", time.Now(), time.Second, 0)
+	tr.SetThreadName(0, "x")
+	if tr.NumSpans() != 0 {
+		t.Error("nil recorder recorded a span")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1000 observations of 1000ns, 10 of 1_000_000ns.
+	for i := 0; i < 1000; i++ {
+		h.ObserveInt(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveInt(1_000_000)
+	}
+	if got := h.Count(); got != 1010 {
+		t.Fatalf("count = %d", got)
+	}
+	p50 := h.Quantile(0.50)
+	// Power-of-two buckets bound the quantile within 2×: 1000 falls in
+	// bucket [512, 1023].
+	if p50 < 1000 || p50 > 2048 {
+		t.Errorf("p50 = %d, want within [1000, 2048]", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 1_000_000 {
+		t.Errorf("p99.9 = %d, want ≥ 1e6", p999)
+	}
+	if got := h.Max(); got != 1_000_000 {
+		t.Errorf("max = %d", got)
+	}
+	if q, m := h.Quantile(1.0), h.Max(); q > m {
+		t.Errorf("p100 %d exceeds max %d", q, m)
+	}
+	if got := h.Quantile(0); got > p50 {
+		t.Errorf("p0 = %d exceeds p50 %d", got, p50)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveInt(0)
+	h.Observe(-time.Second) // clamps to 0
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 of zeros = %d", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestRegistryTypeCollisionPanics(t *testing.T) {
+	reg := New()
+	reg.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on counter/gauge name collision")
+		}
+	}()
+	reg.Gauge("name")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := New()
+	reg.Counter("driver.epochs").Add(42)
+	reg.Gauge("window.peak_events").Set(9000)
+	reg.Histogram("stage.first_pass.ns").Observe(1500 * time.Nanosecond)
+	reg.Counter("reports.addrcheck.double-alloc").Inc()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE butterfly_driver_epochs counter",
+		"butterfly_driver_epochs 42",
+		"butterfly_window_peak_events 9000",
+		"# TYPE butterfly_stage_first_pass_ns histogram",
+		`butterfly_stage_first_pass_ns_bucket{le="+Inf"} 1`,
+		"butterfly_stage_first_pass_ns_sum 1500",
+		"butterfly_reports_addrcheck_double_alloc 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	reg := New()
+	reg.Counter(MetricEpochs).Add(10)
+	reg.Counter(MetricEvents).Add(1000)
+	reg.Histogram(MetricFirstPassNs).Observe(2 * time.Millisecond)
+	reg.Histogram(MetricPrefetchDepth).ObserveInt(2)
+	reg.Gauge(MetricSOSPeak).Set(77)
+	reg.Counter(ReportsPrefix + "x.y").Add(3)
+	out := reg.Summary()
+	for _, want := range []string{
+		"epochs 10", "events 1000", "reports 3",
+		MetricFirstPassNs, "ms", // duration-formatted histogram
+		"sos.peak_size=77", "x.y=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgressEmits(t *testing.T) {
+	reg := New()
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	p := StartProgress(w, reg, 5)
+	reg.Counter(MetricEpochs).Add(12)
+	reg.Counter(MetricEvents).Add(1200)
+	// Give the poller time to notice (poll interval is 100ms).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		s := b.String()
+		mu.Unlock()
+		if strings.Contains(s, "progress: epoch 12") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no heartbeat after 2s; got %q", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p.Stop()
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary renders the end-of-run metrics table shown by butterfly-run
+// -stats: run rates, per-stage latency quantiles (p50/p99 from the
+// power-of-two histograms, so within 2× of the true quantile), and the
+// remaining counters and gauges. Histograms named *.ns render as
+// durations; others (queue depths, set sizes) as plain values.
+func (r *Registry) Summary() string {
+	var b strings.Builder
+	elapsed := time.Duration(0)
+	if r != nil {
+		elapsed = time.Since(r.start).Round(time.Millisecond)
+	}
+	epochs := r.Counter(MetricEpochs).Value()
+	events := r.Counter(MetricEvents).Value()
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	fmt.Fprintf(&b, "run summary (elapsed %v)\n", elapsed)
+	fmt.Fprintf(&b, "  epochs %d (%.1f/s) | events %d (%s/s) | reports %d\n",
+		epochs, float64(epochs)/secs, events, humanCount(float64(events)/secs), r.totalReports())
+
+	type histRow struct {
+		name string
+		h    *Histogram
+	}
+	var hists []histRow
+	var counters, gauges []string
+	r.Each(func(name string, metric any) {
+		switch m := metric.(type) {
+		case *Histogram:
+			hists = append(hists, histRow{name, m})
+		case *Counter:
+			if !strings.HasPrefix(name, ReportsPrefix) && name != MetricEpochs && name != MetricEvents {
+				counters = append(counters, fmt.Sprintf("%s=%d", name, m.Value()))
+			}
+		case *Gauge:
+			gauges = append(gauges, fmt.Sprintf("%s=%d", name, m.Value()))
+		}
+	})
+
+	if len(hists) > 0 {
+		fmt.Fprintf(&b, "  %-24s %10s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99", "max", "total")
+		for _, hr := range hists {
+			render := func(v int64) string { return fmt.Sprint(v) }
+			if strings.HasSuffix(hr.name, ".ns") {
+				render = func(v int64) string { return fmtDur(v) }
+			}
+			fmt.Fprintf(&b, "  %-24s %10d %10s %10s %10s %10s\n",
+				hr.name, hr.h.Count(),
+				render(hr.h.Quantile(0.50)), render(hr.h.Quantile(0.99)),
+				render(hr.h.Max()), render(hr.h.Sum()))
+		}
+	}
+	if len(counters) > 0 {
+		fmt.Fprintf(&b, "  counters: %s\n", strings.Join(counters, "  "))
+	}
+	if len(gauges) > 0 {
+		fmt.Fprintf(&b, "  gauges:   %s\n", strings.Join(gauges, "  "))
+	}
+	if reports := r.reportCounts(); len(reports) > 0 {
+		fmt.Fprintf(&b, "  reports:  %s\n", strings.Join(reports, "  "))
+	}
+	return b.String()
+}
+
+// totalReports sums the per-code report counters.
+func (r *Registry) totalReports() int64 {
+	var total int64
+	r.Each(func(name string, metric any) {
+		if c, ok := metric.(*Counter); ok && strings.HasPrefix(name, ReportsPrefix) {
+			total += c.Value()
+		}
+	})
+	return total
+}
+
+// reportCounts lists the per-code report counters as "code=N", sorted.
+func (r *Registry) reportCounts() []string {
+	var out []string
+	r.Each(func(name string, metric any) {
+		if c, ok := metric.(*Counter); ok && strings.HasPrefix(name, ReportsPrefix) {
+			out = append(out, fmt.Sprintf("%s=%d", strings.TrimPrefix(name, ReportsPrefix), c.Value()))
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// fmtDur renders nanoseconds compactly (1.23ms style, sub-µs as ns).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

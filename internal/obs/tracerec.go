@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceRecorder collects timed spans and writes them in the Chrome
+// trace-event JSON format, loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. The drivers record one span per (epoch, thread,
+// stage), so the pipelined overlap — decode(l+1) ∥ first-pass(l) ∥
+// second-pass(l−1) ∥ sos-update — is literally visible as staggered slices
+// on the per-worker rows.
+//
+// Span is safe for concurrent use (one short mutex hold per span; spans
+// are per epoch per worker, so contention is negligible next to a pass).
+// A nil *TraceRecorder ignores all calls.
+type TraceRecorder struct {
+	mu    sync.Mutex
+	t0    time.Time
+	names map[int]string
+	spans []spanRec
+}
+
+type spanRec struct {
+	tid     int
+	name    string
+	startNs int64
+	durNs   int64
+	epoch   int
+}
+
+// NewTraceRecorder returns a recorder whose time origin is now; span
+// timestamps are exported relative to it.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{t0: time.Now(), names: map[int]string{}}
+}
+
+// SetThreadName labels a tid row in the exported trace (Perfetto shows it
+// as the track name).
+func (tr *TraceRecorder) SetThreadName(tid int, name string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.names[tid] = name
+	tr.mu.Unlock()
+}
+
+// Span records one complete ("X") event on row tid. epoch ≥ 0 is attached
+// as an argument (visible when the slice is selected); pass a negative
+// epoch to omit it.
+func (tr *TraceRecorder) Span(tid int, name string, start time.Time, dur time.Duration, epoch int) {
+	if tr == nil {
+		return
+	}
+	startNs := start.Sub(tr.t0).Nanoseconds()
+	if startNs < 0 {
+		startNs = 0
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, spanRec{tid: tid, name: name, startNs: startNs, durNs: dur.Nanoseconds(), epoch: epoch})
+	tr.mu.Unlock()
+}
+
+// NumSpans returns the number of recorded spans.
+func (tr *TraceRecorder) NumSpans() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.spans)
+}
+
+// traceEvent is one entry of the exported traceEvents array. ts and dur
+// are microseconds (the format's unit); emitting them as float64 keeps
+// nanosecond precision.
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Name string         `json:"name"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON writes the trace as one JSON object. Spans are sorted by start
+// time, so timestamps are globally monotonic; metadata (thread names) come
+// first. The writer is not buffered here — hand in a *bufio.Writer or a
+// bytes.Buffer for large traces.
+func (tr *TraceRecorder) WriteJSON(w io.Writer) error {
+	if tr == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	tr.mu.Lock()
+	spans := make([]spanRec, len(tr.spans))
+	copy(spans, tr.spans)
+	names := make(map[int]string, len(tr.names))
+	for tid, name := range tr.names {
+		names[tid] = name
+	}
+	tr.mu.Unlock()
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].startNs < spans[j].startNs })
+
+	events := make([]traceEvent, 0, len(spans)+len(names))
+	tids := make([]int, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Ph: "M", Pid: 0, Tid: tid, Name: "thread_name",
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+	for _, s := range spans {
+		ev := traceEvent{
+			Ph: "X", Pid: 0, Tid: s.tid, Name: s.name,
+			Ts:  float64(s.startNs) / 1e3,
+			Dur: float64(s.durNs) / 1e3,
+		}
+		if s.epoch >= 0 {
+			ev.Args = map[string]any{"epoch": s.epoch}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     events,
+	})
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exported mirrors the JSON shape WriteJSON emits.
+type exported struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Name string         `json:"name"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceRecorderJSON(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.SetThreadName(0, "driver (SOS)")
+	tr.SetThreadName(1, "worker 0")
+	base := time.Now()
+	// Record out of start order across tids; export must sort by start.
+	tr.Span(1, "first-pass", base.Add(3*time.Millisecond), time.Millisecond, 1)
+	tr.Span(0, "sos-update", base.Add(time.Millisecond), 500*time.Microsecond, 0)
+	tr.Span(1, "second-pass", base.Add(5*time.Millisecond), 2*time.Millisecond, 0)
+	tr.Span(0, "no-epoch", base.Add(6*time.Millisecond), time.Millisecond, -1)
+	if got := tr.NumSpans(); got != 4 {
+		t.Fatalf("NumSpans = %d", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out exported
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var metas, spans int
+	lastTs := -1.0
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name %q", ev.Name)
+			}
+		case "X":
+			spans++
+			if ev.Ts < lastTs {
+				t.Errorf("span %q at ts %f precedes previous ts %f: not monotonic", ev.Name, ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+			if ev.Dur <= 0 {
+				t.Errorf("span %q has non-positive dur %f", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if metas != 2 || spans != 4 {
+		t.Errorf("got %d metadata + %d span events, want 2 + 4", metas, spans)
+	}
+	// Epoch args survive; the sentinel -1 omits them.
+	for _, ev := range out.TraceEvents {
+		switch ev.Name {
+		case "first-pass":
+			if got, ok := ev.Args["epoch"]; !ok || got.(float64) != 1 {
+				t.Errorf("first-pass args = %v", ev.Args)
+			}
+		case "no-epoch":
+			if _, ok := ev.Args["epoch"]; ok {
+				t.Errorf("no-epoch span has an epoch arg: %v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestTraceRecorderConcurrentSpans(t *testing.T) {
+	tr := NewTraceRecorder()
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Span(w, "s", time.Now(), time.Microsecond, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.NumSpans(); got != workers*per {
+		t.Fatalf("NumSpans = %d, want %d", got, workers*per)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace is not valid JSON")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"butterfly/internal/obs"
 )
 
 // Streaming trace format:
@@ -128,6 +130,19 @@ type StreamReader struct {
 	done     bool
 	epoch    int
 	global   []GlobalRef
+
+	// frames/events are set by Instrument; nil handles ignore writes.
+	frames *obs.Counter
+	events *obs.Counter
+}
+
+// Instrument attaches a telemetry registry: the reader counts decoded
+// epoch frames (trace.stream.frames) and events (trace.stream.events) as
+// they arrive, so a stalled or slow producer is distinguishable from a
+// stalled analysis (compare against driver.epochs).
+func (sr *StreamReader) Instrument(reg *obs.Registry) {
+	sr.frames = reg.Counter("trace.stream.frames")
+	sr.events = reg.Counter("trace.stream.events")
 }
 
 // NewStreamReader reads the stream header from r.
@@ -200,6 +215,10 @@ func (sr *StreamReader) NextEpoch() ([][]Event, error) {
 			row[t] = evs
 		}
 		sr.epoch++
+		sr.frames.Inc()
+		for _, evs := range row {
+			sr.events.Add(int64(len(evs)))
+		}
 		return row, nil
 	default:
 		return nil, fmt.Errorf("trace: epoch %d: bad frame type %#x", sr.epoch, kind)
