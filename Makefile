@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench bench-obs ci clean
+.PHONY: all build test race vet fuzz bench bench-obs soak serve-bench ci clean
 
 all: build
 
@@ -21,6 +21,16 @@ fuzz:
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadBinary -fuzztime 30s
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzStreamReader -fuzztime 30s
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadText -fuzztime 30s
+	$(GO) test ./internal/proto -run XXX -fuzz FuzzServerFrameDecoder -fuzztime 30s
+
+# The butterflyd differential soak: concurrent sessions (and the
+# connection-killing chaos variant) must match in-process RunStream exactly.
+soak:
+	$(GO) test ./internal/server -race -count=1 -run 'TestSoak'
+
+# End-to-end server throughput: client encode -> TCP -> decode -> analysis.
+serve-bench:
+	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughput -benchtime 5x -count 2
 
 # Batch-vs-stream driver microbenchmarks (bytes in, reports out).
 bench:
@@ -34,8 +44,11 @@ bench-obs:
 	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 3x -count 3
 	$(GO) test ./internal/obs -run XXX -bench . -benchtime 1s
 
-# The gate a change must pass before it lands.
-ci: vet build race
+# The gate a change must pass before it lands. `race` runs the full test
+# suite (including the butterflyd soak) under the race detector; `soak`
+# repeats the server differential explicitly so a cached `race` run cannot
+# mask it.
+ci: vet build race soak
 
 clean:
 	rm -f core.test cpu.prof mem.prof

@@ -22,6 +22,16 @@
 // Perfetto-loadable Chrome trace with one span per (epoch, thread, stage),
 // -progress N heartbeats to stderr every N epochs, and -debug-addr serves
 // Prometheus /metrics, expvar and pprof while the run is live.
+//
+// With -remote host:port, the analysis runs on a butterflyd server instead
+// of in-process: the trace (batch or -stream) is streamed over TCP epoch by
+// epoch, reports stream back, and a dropped connection resumes from the
+// server's checkpoint (DESIGN.md §10). -remote excludes -trace-out and
+// -compare, which need the in-process driver and the local oracle.
+//
+// With -exit-code, the process exits 2 when the analysis produced any
+// reports (and 1 on operational errors, 0 on a clean, report-free run) so
+// scripts and CI can gate on findings.
 package main
 
 import (
@@ -31,14 +41,12 @@ import (
 	"io"
 	"os"
 
+	"butterfly/internal/client"
 	"butterfly/internal/core"
 	"butterfly/internal/epoch"
 	"butterfly/internal/interleave"
 	"butterfly/internal/lifeguard"
-	"butterfly/internal/lifeguard/addrcheck"
-	"butterfly/internal/lifeguard/lockset"
-	"butterfly/internal/lifeguard/memcheck"
-	"butterfly/internal/lifeguard/taintcheck"
+	"butterfly/internal/lifeguard/registry"
 	"butterfly/internal/obs"
 	"butterfly/internal/trace"
 )
@@ -54,6 +62,8 @@ func main() {
 		maxShow  = flag.Int("max-reports", 20, "print at most this many reports")
 		text     = flag.Bool("text", false, "input is in text format")
 		stream   = flag.Bool("stream", false, "input is in the streaming format; analyze incrementally")
+		remote   = flag.String("remote", "", "run the analysis on the butterflyd at this host:port instead of in-process")
+		exitCode = flag.Bool("exit-code", false, "exit 2 if the analysis produced any reports")
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 		stats     = flag.Bool("stats", false, "print an end-of-run metrics summary (epochs/sec, stage p50/p99, peak window)")
@@ -65,6 +75,11 @@ func main() {
 	if *stream {
 		if *text || *compare || *h > 0 {
 			fatalf("-stream cannot be combined with -text, -compare or -h: streamed traces carry neither heartbeats nor ground truth")
+		}
+	}
+	if *remote != "" {
+		if *compare || *traceOut != "" {
+			fatalf("-remote cannot be combined with -compare or -trace-out: both need the in-process driver")
 		}
 	}
 
@@ -130,43 +145,43 @@ func main() {
 		}
 	}
 
-	var lg core.Lifeguard
-	var oracle lifeguard.Oracle
-	switch *lgName {
-	case "addrcheck":
-		lg = addrcheck.New(*heapBase)
-		oracle = addrcheck.NewOracle(*heapBase)
-	case "memcheck":
-		lg = memcheck.New(*heapBase)
-		oracle = memcheck.NewOracle(*heapBase)
-	case "lockset":
-		lg = lockset.New()
-		oracle = lockset.NewOracle()
-	case "taintcheck":
-		if *relaxed {
-			lg = taintcheck.NewRelaxed()
-		} else {
-			lg = taintcheck.New()
-		}
-		oracle = taintcheck.NewOracle()
-	default:
-		fatalf("unknown lifeguard %q", *lgName)
+	lgOpts := registry.Options{HeapBase: *heapBase, Relaxed: *relaxed}
+	lg, err := registry.New(*lgName, lgOpts)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
-	d := &core.Driver{LG: lg, Parallel: !*seq, Obs: reg, Trace: rec}
 	var mon *obs.Progress
 	if *progress > 0 {
 		mon = obs.StartProgress(os.Stderr, reg, *progress)
 	}
 	var res *core.Result
 	var nthreads int
-	if *stream {
+	switch {
+	case *remote != "":
+		if src == nil {
+			src = epoch.NewGridRows(g)
+		}
+		res, err = client.Run(*remote, client.Options{
+			Lifeguard: *lgName,
+			HeapBase:  *heapBase,
+			Relaxed:   *relaxed,
+			Serial:    *seq,
+			Obs:       reg,
+		}, src)
+		if err != nil {
+			fatalf("remote %s: %v", *remote, err)
+		}
+		nthreads = src.NumThreads()
+	case *stream:
+		d := &core.Driver{LG: lg, Parallel: !*seq, Obs: reg, Trace: rec}
 		res, err = d.RunStream(src)
 		if err != nil {
 			fatalf("streaming %s: %v", name, err)
 		}
 		nthreads = src.NumThreads()
-	} else {
+	default:
+		d := &core.Driver{LG: lg, Parallel: !*seq, Obs: reg, Trace: rec}
 		res = d.Run(g)
 		nthreads = g.NumThreads
 	}
@@ -207,6 +222,10 @@ func main() {
 		if tr.Global == nil {
 			fatalf("-compare requires a trace with ground truth")
 		}
+		oracle, err := registry.NewOracle(*lgName, lgOpts)
+		if err != nil {
+			fatalf("%v", err)
+		}
 		items, err := interleave.FromGlobal(g, tr)
 		if err != nil {
 			fatalf("%v", err)
@@ -219,6 +238,12 @@ func main() {
 		if len(cmp.FalseNegatives) > 0 {
 			fatalf("FALSE NEGATIVES DETECTED — this violates Theorem 6.1/6.2 and is a bug")
 		}
+	}
+
+	// Exit 2 on findings so scripts can gate on "clean trace" without
+	// parsing output; operational failures above exit 1 via fatalf.
+	if *exitCode && len(res.Reports) > 0 {
+		os.Exit(2)
 	}
 }
 

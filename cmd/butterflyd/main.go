@@ -1,0 +1,90 @@
+// Command butterflyd serves butterfly-analysis sessions over TCP: many
+// clients stream epoch-framed traces concurrently, each analyzed by its own
+// incremental driver under shared admission control (bounded sessions,
+// bounded analysis worker pool, per-session quotas). Sessions checkpoint
+// after every epoch — a dropped client reconnects and resumes from the last
+// acknowledged epoch instead of re-uploading the trace (DESIGN.md §10).
+//
+// Usage:
+//
+//	butterflyd -addr :7137 -max-sessions 64 -debug-addr :7138
+//
+// Clients connect with `butterfly-run -remote host:7137 ...`. SIGINT/SIGTERM
+// triggers a graceful drain: no new sessions are admitted and live sessions
+// may finish within -drain-timeout before being force-closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"butterfly/internal/obs"
+	"butterfly/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7137", "listen address for analysis sessions")
+		maxSessions = flag.Int("max-sessions", 64, "maximum live sessions (attached + detached); further Hellos are rejected")
+		maxAnalyze  = flag.Int("max-analyze", 0, "maximum concurrently analyzing epoch ticks across all sessions (0 = GOMAXPROCS)")
+		maxBytes    = flag.Int64("max-session-bytes", 0, "per-session wire-byte quota (0 = unlimited)")
+		maxEpochs   = flag.Int64("max-session-epochs", 0, "per-session epoch quota (0 = unlimited)")
+		grace       = flag.Duration("grace", 2*time.Minute, "how long a disconnected session's checkpoint is kept resumable")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for live sessions before force-closing")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	)
+	flag.Parse()
+
+	reg := obs.New()
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "butterflyd: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr())
+	}
+
+	s, err := server.Listen(*addr, server.Config{
+		MaxSessions:      *maxSessions,
+		MaxAnalyze:       *maxAnalyze,
+		MaxSessionBytes:  *maxBytes,
+		MaxSessionEpochs: *maxEpochs,
+		DetachGrace:      *grace,
+		Obs:              reg,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "butterflyd: listening on %s (max %d sessions)\n", s.Addr(), *maxSessions)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+
+	select {
+	case err := <-served:
+		fatalf("serve: %v", err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "butterflyd: %v — draining (up to %v)\n", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyd: drain deadline hit; live connections force-closed\n")
+		}
+		if err := <-served; err != nil {
+			fatalf("serve: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "butterflyd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"butterfly/internal/epoch"
+)
+
+// Incremental is the push-mode form of the streaming driver: instead of the
+// driver pulling epoch rows from a BlockSource (RunStream), the caller feeds
+// rows one at a time and receives each tick's reports back immediately. An
+// Incremental IS the checkpoint of a streaming analysis: between feeds it
+// holds exactly the sliding window — SOS_{l−1}, SOSₗ, the retained summary
+// rows, and the previous epoch's blocks — which by the butterfly invariant
+// fully summarizes the strictly-ordered past. The butterflyd server keeps
+// one Incremental per session; a dropped connection can therefore resume by
+// re-feeding from the next epoch, without replaying the whole trace.
+//
+// Feeding is single-threaded: FeedEpoch, Finish and Close must be called
+// from one goroutine at a time (internally each feed still fans out to the
+// per-thread pipeline workers when the driver is Parallel). An Incremental
+// produces, over the same rows, exactly the reports RunStream would — same
+// contents, same order — which the differential and soak tests pin down.
+type Incremental struct {
+	st       *streamState
+	finished bool
+	closed   bool
+
+	// trim, when set, stops the Result from accumulating reports across
+	// feeds: FeedEpoch returns each tick's reports and the retained Result
+	// keeps only counters. Long-lived sessions need this — a server must not
+	// hold every report of an unbounded trace in memory.
+	trim bool
+}
+
+// NewIncremental returns a push-mode streaming driver over T threads. The
+// Driver configuration (lifeguard, Parallel, Obs, Trace) applies as in
+// RunStream; KeepHistory is incompatible with trim mode. T must be positive:
+// a zero-thread trace has nothing to feed.
+func (d *Driver) NewIncremental(T int) (*Incremental, error) {
+	return d.newIncremental(T, false)
+}
+
+// NewIncrementalTrimmed is NewIncremental with per-feed report trimming:
+// reports are handed back from FeedEpoch/Finish and not retained.
+func (d *Driver) NewIncrementalTrimmed(T int) (*Incremental, error) {
+	return d.newIncremental(T, true)
+}
+
+func (d *Driver) newIncremental(T int, trim bool) (*Incremental, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("core: incremental driver needs at least one thread, got %d", T)
+	}
+	if trim && d.KeepHistory {
+		return nil, fmt.Errorf("core: KeepHistory is incompatible with trimmed incremental mode")
+	}
+	st := &streamState{d: d, T: T, res: &Result{}}
+	st.wa, _ = d.LG.(WingAggregator)
+	st.m = d.metrics(T)
+	st.sosCur = d.LG.BottomState() // SOS₀
+	if d.Parallel && T > 1 {
+		st.pipe = newStreamPipeline(d.LG, T)
+	}
+	return &Incremental{st: st, trim: trim}, nil
+}
+
+// NumThreads returns the row width every fed row must have.
+func (inc *Incremental) NumThreads() int { return inc.st.T }
+
+// NextEpoch returns the epoch number the next FeedEpoch must carry — the
+// resume point of a checkpointed session.
+func (inc *Incremental) NextEpoch() int { return inc.st.l }
+
+// pipelined reports whether per-thread pipeline workers are running.
+func (inc *Incremental) pipelined() bool { return inc.st.pipe != nil }
+
+// FeedEpoch advances the analysis by one epoch tick — first-pass(l),
+// second-pass(l−1), SOS update — and returns the reports that tick
+// produced, in the same (pass, thread, instruction) order RunStream appends
+// them. The row must be labeled with the epoch NextEpoch reports.
+func (inc *Incremental) FeedEpoch(row []*epoch.Block) ([]Report, error) {
+	if inc.finished || inc.closed {
+		return nil, fmt.Errorf("core: FeedEpoch after Finish/Close")
+	}
+	if err := inc.st.checkRow(row); err != nil {
+		return nil, err
+	}
+	n0 := len(inc.st.res.Reports)
+	inc.st.tick(row)
+	return inc.takeReports(n0), nil
+}
+
+// Finish runs the trailing second pass and SOS updates and returns the
+// final Result. In trimmed mode the Result's Reports hold only the trailing
+// tick's reports (earlier ones were returned by FeedEpoch); otherwise
+// Reports holds the full run, exactly as RunStream would return it.
+// Finish does not shut the pipeline down — call Close when done.
+func (inc *Incremental) Finish() (*Result, error) {
+	if inc.finished || inc.closed {
+		return nil, fmt.Errorf("core: Finish after Finish/Close")
+	}
+	inc.finished = true
+	inc.st.finish()
+	return inc.st.res, nil
+}
+
+// Close shuts down the pipeline workers. It is idempotent and safe to call
+// whether or not Finish ran (an abandoned session is closed without a
+// trailing pass).
+func (inc *Incremental) Close() {
+	if inc.closed {
+		return
+	}
+	inc.closed = true
+	if inc.st.pipe != nil {
+		inc.st.pipe.shutdown()
+	}
+}
+
+// takeReports returns the reports appended since index n0, copying and
+// truncating in trim mode so the retained Result stays bounded.
+func (inc *Incremental) takeReports(n0 int) []Report {
+	reps := inc.st.res.Reports[n0:]
+	if !inc.trim {
+		return reps
+	}
+	out := append([]Report(nil), reps...)
+	inc.st.res.Reports = inc.st.res.Reports[:n0]
+	return out
+}

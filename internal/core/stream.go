@@ -58,10 +58,10 @@ const streamPrefetch = 2
 // comes from the source; analysis itself cannot fail.
 func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 	T := src.NumThreads()
-	res := &Result{}
 	if T == 0 {
 		// Match Run on an empty grid, but drain the source so a stream
 		// with a malformed tail still reports its error.
+		res := &Result{}
 		for l := 0; ; l++ {
 			if _, err := src.NextEpoch(); err == io.EOF {
 				res.FinalSOS = d.LG.BottomState()
@@ -72,16 +72,13 @@ func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 		}
 	}
 
-	st := &streamState{d: d, T: T, res: res}
-	st.wa, _ = d.LG.(WingAggregator)
-	st.m = d.metrics(T)
-	st.sosCur = d.LG.BottomState() // SOS₀
-	if d.Parallel && T > 1 {
-		st.pipe = newStreamPipeline(d.LG, T)
-		defer st.pipe.shutdown()
+	inc, err := d.NewIncremental(T)
+	if err != nil {
+		return nil, err
 	}
+	defer inc.Close()
 
-	next, stop := startPrefetch(src, st.pipe != nil, st.m, T)
+	next, stop := startPrefetch(src, inc.pipelined(), inc.st.m, T)
 	defer stop()
 	for {
 		row, err := next()
@@ -89,15 +86,13 @@ func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: reading epoch %d: %w", st.l, err)
+			return nil, fmt.Errorf("core: reading epoch %d: %w", inc.st.l, err)
 		}
-		if err := st.checkRow(row); err != nil {
+		if _, err := inc.FeedEpoch(row); err != nil {
 			return nil, err
 		}
-		st.tick(row)
 	}
-	st.finish()
-	return res, nil
+	return inc.Finish()
 }
 
 // startPrefetch returns a row iterator over src. In pipelined mode the

@@ -11,18 +11,55 @@ import (
 // NumThreads() int and NextEpoch() ([]*Block, error) — without this package
 // importing core (core imports epoch).
 
-// StreamRows turns an incremental stream decoder into successive epoch rows
-// of blocks. Start offsets count each thread's streamed events, so reports
-// can point back at stream positions.
-type StreamRows struct {
-	sr     *trace.StreamReader
+// RowBuilder converts successive event rows into epoch block rows,
+// maintaining the epoch counter and per-thread start offsets so reports can
+// point back at stream positions. It is the block-construction half of
+// StreamRows, shared with the butterflyd server, which receives rows over
+// the wire rather than from a stream decoder.
+type RowBuilder struct {
 	epoch  int
 	starts []int
 }
 
+// NewRowBuilder returns a builder for rows of nthreads threads.
+func NewRowBuilder(nthreads int) *RowBuilder {
+	return &RowBuilder{starts: make([]int, nthreads)}
+}
+
+// NumThreads returns the builder's row width.
+func (rb *RowBuilder) NumThreads() int { return len(rb.starts) }
+
+// NextEpoch returns the epoch number Row will assign to its next row.
+func (rb *RowBuilder) NextEpoch() int { return rb.epoch }
+
+// Row converts one event row (one slice per thread) into the next epoch's
+// blocks and advances the counters.
+func (rb *RowBuilder) Row(row [][]trace.Event) []*Block {
+	blocks := make([]*Block, len(row))
+	for t, evs := range row {
+		blocks[t] = &Block{
+			Epoch:  rb.epoch,
+			Thread: trace.ThreadID(t),
+			Start:  rb.starts[t],
+			Events: evs,
+		}
+		rb.starts[t] += len(evs)
+	}
+	rb.epoch++
+	return blocks
+}
+
+// StreamRows turns an incremental stream decoder into successive epoch rows
+// of blocks. Start offsets count each thread's streamed events, so reports
+// can point back at stream positions.
+type StreamRows struct {
+	sr *trace.StreamReader
+	rb *RowBuilder
+}
+
 // NewStreamRows returns a row source over sr.
 func NewStreamRows(sr *trace.StreamReader) *StreamRows {
-	return &StreamRows{sr: sr, starts: make([]int, sr.NumThreads())}
+	return &StreamRows{sr: sr, rb: NewRowBuilder(sr.NumThreads())}
 }
 
 // NumThreads returns the stream's thread count.
@@ -35,18 +72,7 @@ func (s *StreamRows) NextEpoch() ([]*Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	blocks := make([]*Block, len(row))
-	for t, evs := range row {
-		blocks[t] = &Block{
-			Epoch:  s.epoch,
-			Thread: trace.ThreadID(t),
-			Start:  s.starts[t],
-			Events: evs,
-		}
-		s.starts[t] += len(evs)
-	}
-	s.epoch++
-	return blocks, nil
+	return s.rb.Row(row), nil
 }
 
 // GridRows replays an already-materialized grid row by row. It exists for

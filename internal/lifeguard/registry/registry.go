@@ -1,0 +1,87 @@
+// Package registry names the built-in lifeguards and constructs them from
+// string configuration — the one place the CLI flag parsers and the
+// butterflyd session handshake agree on what "addrcheck" means. It lives
+// below cmd/* and internal/server so both resolve lifeguards identically,
+// and outside package lifeguard because the concrete lifeguards import that
+// package for their oracles.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"butterfly/internal/core"
+	"butterfly/internal/lifeguard"
+	"butterfly/internal/lifeguard/addrcheck"
+	"butterfly/internal/lifeguard/lockset"
+	"butterfly/internal/lifeguard/memcheck"
+	"butterfly/internal/lifeguard/taintcheck"
+)
+
+// Options carries the lifeguard-specific knobs; fields irrelevant to the
+// named lifeguard are ignored.
+type Options struct {
+	// HeapBase is the heap-only filter of addrcheck/memcheck: accesses
+	// below it are ignored.
+	HeapBase uint64
+	// Relaxed selects taintcheck's relaxed-memory-model termination
+	// condition.
+	Relaxed bool
+}
+
+type entry struct {
+	lifeguard func(Options) core.Lifeguard
+	oracle    func(Options) lifeguard.Oracle
+}
+
+var builtins = map[string]entry{
+	"addrcheck": {
+		func(o Options) core.Lifeguard { return addrcheck.New(o.HeapBase) },
+		func(o Options) lifeguard.Oracle { return addrcheck.NewOracle(o.HeapBase) },
+	},
+	"memcheck": {
+		func(o Options) core.Lifeguard { return memcheck.New(o.HeapBase) },
+		func(o Options) lifeguard.Oracle { return memcheck.NewOracle(o.HeapBase) },
+	},
+	"lockset": {
+		func(o Options) core.Lifeguard { return lockset.New() },
+		func(o Options) lifeguard.Oracle { return lockset.NewOracle() },
+	},
+	"taintcheck": {
+		func(o Options) core.Lifeguard {
+			if o.Relaxed {
+				return taintcheck.NewRelaxed()
+			}
+			return taintcheck.New()
+		},
+		func(o Options) lifeguard.Oracle { return taintcheck.NewOracle() },
+	},
+}
+
+// New constructs the named lifeguard.
+func New(name string, opts Options) (core.Lifeguard, error) {
+	e, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown lifeguard %q (have %v)", name, Names())
+	}
+	return e.lifeguard(opts), nil
+}
+
+// NewOracle constructs the named lifeguard's sequential oracle.
+func NewOracle(name string, opts Options) (lifeguard.Oracle, error) {
+	e, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown lifeguard %q (have %v)", name, Names())
+	}
+	return e.oracle(opts), nil
+}
+
+// Names lists the registered lifeguards, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -56,6 +56,20 @@ const (
 	MetricWindowPeak   = "window.peak_events" // high-water mark of window.events
 	MetricSOSSize      = "sos.size"           // lifeguard SOS cardinality after each update
 	MetricSOSPeak      = "sos.peak_size"      // high-water mark of sos.size
+
+	// butterflyd service metrics (internal/server). Counters unless noted;
+	// driver-stage metrics above aggregate across sessions, since every
+	// session's driver shares the server's registry.
+	MetricSessionsActive    = "server.sessions.active"    // gauge: sessions with a live connection
+	MetricSessionsDetached  = "server.sessions.detached"  // gauge: checkpointed sessions awaiting resume
+	MetricSessionsAccepted  = "server.sessions.accepted"  // Hello accepted (fresh sessions)
+	MetricSessionsRejected  = "server.sessions.rejected"  // Hello rejected (full/draining/bad request)
+	MetricSessionsResumed   = "server.sessions.resumed"   // successful checkpoint reattachments
+	MetricSessionsEvicted   = "server.sessions.evicted"   // sessions dropped by grace expiry or quota/protocol errors
+	MetricSessionsCompleted = "server.sessions.completed" // sessions that reached Done
+	MetricServerBytesIn     = "server.bytes_in"           // wire bytes received across all sessions
+	MetricServerFramesIn    = "server.frames_in"          // frames received across all sessions
+	MetricServerReportsOut  = "server.reports_out"        // reports streamed back to clients
 )
 
 // Counter is a monotonically increasing int64. The zero value is ready to

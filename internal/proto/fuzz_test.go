@@ -1,0 +1,63 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+
+	"butterfly/internal/trace"
+)
+
+// FuzzServerFrameDecoder throws arbitrary bytes at the server's ingest path:
+// the length-prefixed frame reader, then — per decoded frame — the payload
+// parser the server would apply (JSON Hello, binary epoch row, ack). It
+// mirrors FuzzStreamReader for the BFLYS1 codec: no input may panic, hang,
+// or allocate proportionally to a forged length field, and every truncation
+// must keep the io.ErrUnexpectedEOF sentinel the client's retry logic
+// matches on.
+func FuzzServerFrameDecoder(f *testing.F) {
+	// Seed corpus: a realistic session prologue plus degenerate shapes.
+	var session bytes.Buffer
+	hello, _ := json.Marshal(Hello{Proto: Version, Lifeguard: "addrcheck", NumThreads: 2, AckedEpoch: -1})
+	_ = WriteFrame(&session, FrameHello, hello)
+	epochPayload, _ := EncodeEpoch(0, [][]trace.Event{
+		{{Kind: trace.Alloc, Addr: 0x100, Size: 16}},
+		{{Kind: trace.Read, Addr: 0x100, Size: 8}},
+	})
+	_ = WriteFrame(&session, FrameEpoch, epochPayload)
+	_ = WriteFrame(&session, FrameEnd, nil)
+	f.Add(session.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, byte(FrameEnd)})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(session.Bytes()[:7])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for frames := 0; frames < 64; frames++ {
+			ft, payload, err := ReadFrame(br)
+			if err != nil {
+				if err != io.EOF && errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("frame error hides truncation behind clean io.EOF: %v", err)
+				}
+				return
+			}
+			// Parse the payload the way the server session loop would.
+			switch ft {
+			case FrameHello:
+				var h Hello
+				_ = json.Unmarshal(payload, &h)
+			case FrameEpoch:
+				if _, _, err := DecodeEpoch(payload, 2); err != nil &&
+					errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("epoch decode error hides truncation: %v", err)
+				}
+			case FrameAck:
+				_, _ = DecodeAck(payload)
+			}
+		}
+	})
+}

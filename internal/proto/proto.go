@@ -1,0 +1,279 @@
+// Package proto defines the butterflyd wire protocol: a length-prefixed
+// frame stream over TCP carrying one trace-analysis session per connection.
+//
+// Frame layout:
+//
+//	uint32 big-endian length | 1-byte frame type | payload (length−1 bytes)
+//
+// Control frames (Hello, Welcome, Reject, Reports, Done, Error) carry JSON
+// payloads — tiny, rare, and debuggable on the wire. Data frames reuse the
+// binary BFLYS1 stream codec: an Epoch frame is a uvarint epoch number
+// followed by the epoch-frame body encoding of trace.EncodeEpochRow, so the
+// service speaks exactly the format the in-process streaming driver
+// consumes. Ack frames are a bare uvarint epoch number.
+//
+// Session lifecycle (DESIGN.md §10):
+//
+//	client                          server
+//	Hello{lifeguard, T, resume?} →
+//	                              ← Welcome{session, nextEpoch} | Reject
+//	Epoch(l), Epoch(l+1), ...    →
+//	                              ← Reports(l)?, Ack(l), ...
+//	End                          →
+//	                              ← Reports(L)?, Done{epochs, events}
+//
+// Ack(l) promises that tick l is folded into the server-side checkpoint:
+// after a disconnect, the client resumes by re-dialing with
+// Hello{Resume: session, AckedEpoch: lastAck} and re-sending only epochs
+// the Welcome's NextEpoch onward. The server replays any Reports frames for
+// ticks after AckedEpoch, so reports can neither be lost nor duplicated.
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"butterfly/internal/core"
+	"butterfly/internal/trace"
+)
+
+// Version is the protocol revision carried in Hello; the server rejects
+// mismatches rather than guessing at compatibility.
+const Version = 1
+
+// MaxFrame bounds the accepted frame length (type byte + payload). An epoch
+// frame of a reasonable session fits comfortably; anything larger is a
+// protocol error, not a reason to allocate.
+const MaxFrame = 16 << 20
+
+// FrameType tags a frame's payload.
+type FrameType byte
+
+const (
+	// FrameHello (client→server) opens or resumes a session; JSON Hello.
+	FrameHello FrameType = 1
+	// FrameWelcome (server→client) accepts a session; JSON Welcome.
+	FrameWelcome FrameType = 2
+	// FrameReject (server→client) refuses a Hello; JSON Reject.
+	FrameReject FrameType = 3
+	// FrameEpoch (client→server) carries one epoch row: uvarint epoch
+	// number, then the trace.EncodeEpochRow body.
+	FrameEpoch FrameType = 4
+	// FrameEnd (client→server) marks the end of the trace; empty payload.
+	FrameEnd FrameType = 5
+	// FrameAck (server→client) acknowledges a checkpointed tick: uvarint
+	// epoch number.
+	FrameAck FrameType = 6
+	// FrameReports (server→client) delivers one tick's reports; JSON
+	// Reports. Sent only for ticks that produced reports.
+	FrameReports FrameType = 7
+	// FrameDone (server→client) closes a completed session; JSON Done.
+	FrameDone FrameType = 8
+	// FrameError (server→client) aborts a session; JSON ErrorMsg.
+	FrameError FrameType = 9
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameReject:
+		return "reject"
+	case FrameEpoch:
+		return "epoch"
+	case FrameEnd:
+		return "end"
+	case FrameAck:
+		return "ack"
+	case FrameReports:
+		return "reports"
+	case FrameDone:
+		return "done"
+	case FrameError:
+		return "error"
+	}
+	return fmt.Sprintf("frame(%d)", byte(t))
+}
+
+// Hello opens (Resume == "") or resumes (Resume == session token) an
+// analysis session.
+type Hello struct {
+	Proto     int    `json:"proto"`
+	Lifeguard string `json:"lifeguard"`
+	// HeapBase and Relaxed are lifeguard options (addrcheck/memcheck heap
+	// filter; taintcheck memory model).
+	HeapBase uint64 `json:"heap_base,omitempty"`
+	Relaxed  bool   `json:"relaxed,omitempty"`
+	// Serial asks for the deterministic single-goroutine driver.
+	Serial     bool `json:"serial,omitempty"`
+	NumThreads int  `json:"num_threads"`
+	// Resume names an existing session to reattach to.
+	Resume string `json:"resume,omitempty"`
+	// AckedEpoch is the highest tick whose Ack the client has seen
+	// (−1 for none). The server replays Reports for later ticks.
+	AckedEpoch int `json:"acked_epoch"`
+}
+
+// Welcome accepts a session.
+type Welcome struct {
+	// Session is the token to resume with after a disconnect.
+	Session string `json:"session"`
+	// NextEpoch is the first epoch the server expects; on resume the client
+	// drops buffered epochs below it (they are checkpointed server-side).
+	NextEpoch int `json:"next_epoch"`
+	// Finished marks a session whose analysis already completed: no epochs
+	// are expected, only the Reports replay and Done follow.
+	Finished bool `json:"finished,omitempty"`
+}
+
+// Reject refuses a Hello.
+type Reject struct {
+	// Code is machine-readable: "full", "draining", "bad-request",
+	// "unknown-session", "busy", "version".
+	Code   string `json:"code"`
+	Reason string `json:"reason"`
+}
+
+// Reports carries the reports of one analysis tick. Epoch is the tick
+// number; the trailing tick (Finish) uses the total epoch count, one past
+// the last fed epoch. Reports reuse core.Report verbatim: Ref and Event are
+// integer-field structs that round-trip JSON exactly.
+type Reports struct {
+	Epoch   int           `json:"epoch"`
+	Reports []core.Report `json:"reports"`
+}
+
+// Done closes a completed session with its totals.
+type Done struct {
+	Epochs  int `json:"epochs"`
+	Events  int `json:"events"`
+	Reports int `json:"reports"`
+}
+
+// ErrorMsg aborts a session.
+type ErrorMsg struct {
+	// Code is machine-readable: "quota-bytes", "quota-epochs", "protocol",
+	// "internal".
+	Code   string `json:"code"`
+	Reason string `json:"reason"`
+}
+
+// WriteFrame writes one frame. Payloads larger than MaxFrame−1 are refused.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	n := len(payload) + 1
+	if n > MaxFrame {
+		return fmt.Errorf("proto: %v frame of %d bytes exceeds MaxFrame", t, n)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteJSON marshals v and writes it as a frame of type t.
+func WriteJSON(w io.Writer, t FrameType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("proto: encoding %v: %w", t, err)
+	}
+	return WriteFrame(w, t, payload)
+}
+
+// ReadFrame reads one frame. A reader exhausted exactly at a frame boundary
+// returns io.EOF; one cut mid-frame returns an error matching
+// io.ErrUnexpectedEOF, so connection loss is distinguishable from protocol
+// corruption (mirroring the trace stream codec's contract).
+func ReadFrame(br *bufio.Reader) (FrameType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("proto: frame length: %w", cut(err))
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("proto: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("proto: frame of %d bytes exceeds MaxFrame", n)
+	}
+	tb, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, fmt.Errorf("proto: frame type: %w", cut(err))
+	}
+	// Never trust the claimed length for allocation: grow as data actually
+	// arrives, so a forged header cannot exhaust memory.
+	want := int64(n - 1)
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, want); err != nil {
+		return 0, nil, fmt.Errorf("proto: %v frame body (%d of %d bytes): %w",
+			FrameType(tb), buf.Len(), want, cut(err))
+	}
+	return FrameType(tb), buf.Bytes(), nil
+}
+
+// cut rewrites a clean io.EOF mid-frame into io.ErrUnexpectedEOF while
+// keeping any other error (network resets and the like) in the chain
+// alongside the sentinel.
+func cut(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", io.ErrUnexpectedEOF, err)
+}
+
+// EncodeEpoch builds the payload of an Epoch frame: the epoch number, then
+// the row in the BFLYS1 epoch-frame body encoding.
+func EncodeEpoch(epochNum int, row [][]trace.Event) ([]byte, error) {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(epochNum))])
+	if err := trace.EncodeEpochRow(&buf, row); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEpoch parses an Epoch frame payload for a session of nthreads
+// threads.
+func DecodeEpoch(payload []byte, nthreads int) (epochNum int, row [][]trace.Event, err error) {
+	num, n := binary.Uvarint(payload)
+	if n <= 0 || num > 1<<40 {
+		return 0, nil, fmt.Errorf("proto: bad epoch number in epoch frame")
+	}
+	row, err = trace.DecodeEpochRow(payload[n:], nthreads)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(num), row, nil
+}
+
+// EncodeAck builds an Ack frame payload.
+func EncodeAck(epochNum int) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append([]byte(nil), tmp[:binary.PutUvarint(tmp[:], uint64(epochNum))]...)
+}
+
+// DecodeAck parses an Ack frame payload.
+func DecodeAck(payload []byte) (int, error) {
+	num, n := binary.Uvarint(payload)
+	if n <= 0 || n != len(payload) || num > 1<<40 {
+		return 0, fmt.Errorf("proto: bad ack payload")
+	}
+	return int(num), nil
+}

@@ -1,0 +1,150 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		t FrameType
+		p []byte
+	}{
+		{FrameHello, []byte(`{"proto":1}`)},
+		{FrameEnd, nil},
+		{FrameAck, EncodeAck(42)},
+		{FrameEpoch, bytes.Repeat([]byte{0}, 1000)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.t, f.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, f := range frames {
+		ft, payload, err := ReadFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft != f.t {
+			t.Fatalf("frame type %v, want %v", ft, f.t)
+		}
+		want := f.p
+		if want == nil {
+			want = []byte{}
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("%v payload %q, want %q", ft, payload, want)
+		}
+	}
+	if _, _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncationSentinel mirrors the trace codec's contract: a frame
+// stream cut at any non-boundary offset yields io.ErrUnexpectedEOF, never a
+// clean io.EOF.
+func TestFrameTruncationSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameEpoch, []byte("some epoch bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameEnd, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		br := bufio.NewReader(bytes.NewReader(data[:cut]))
+		var err error
+		for err == nil {
+			_, _, err = ReadFrame(br)
+		}
+		boundary := cut == 0 || cut == 21 // frame boundaries
+		if boundary {
+			if err != io.EOF {
+				t.Fatalf("cut at boundary %d: got %v, want io.EOF", cut, err)
+			}
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameGuards(t *testing.T) {
+	if err := WriteFrame(io.Discard, FrameEpoch, make([]byte, MaxFrame)); err == nil {
+		t.Error("WriteFrame accepted an oversized payload")
+	}
+	var hdr [5]byte
+	hdr[3] = 0 // length 0
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:4]))); err == nil {
+		t.Error("ReadFrame accepted a zero-length frame")
+	}
+	big := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(big))); err == nil {
+		t.Error("ReadFrame accepted an oversized length")
+	}
+}
+
+func TestEpochPayloadRoundTrip(t *testing.T) {
+	row := [][]trace.Event{
+		{{Kind: trace.Alloc, Addr: 0x100, Size: 16}, {Kind: trace.Write, Addr: 0x100, Size: 8}},
+		{},
+		{{Kind: trace.AssignUn, Addr: 1, Src1: 2}},
+	}
+	payload, err := EncodeEpoch(7, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, got, err := DecodeEpoch(payload, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num != 7 || !reflect.DeepEqual(got, row) {
+		t.Fatalf("epoch payload round trip: epoch=%d rows=%v", num, got)
+	}
+	if _, _, err := DecodeEpoch(payload, 2); err == nil {
+		t.Error("DecodeEpoch accepted the wrong thread count")
+	}
+	if _, err := DecodeAck(EncodeAck(12345)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := DecodeAck(EncodeAck(12345)); n != 12345 {
+		t.Fatalf("ack round trip: %d", n)
+	}
+	if _, err := DecodeAck(nil); err == nil {
+		t.Error("DecodeAck accepted an empty payload")
+	}
+}
+
+// TestReportJSONRoundTrip pins that core.Report survives the wire exactly,
+// including large uint64 addresses: the differential soak tests rely on
+// byte-identical reports.
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Reports{Epoch: 3, Reports: []core.Report{{
+		Ref:    trace.Ref{Epoch: 3, Thread: 2, Index: 41},
+		Ev:     trace.Event{Kind: trace.Write, Addr: 1<<63 + 12345, Size: 8, Src1: 7, Src2: 9, Cycle: 1 << 40},
+		Code:   "addrcheck.unallocated-access",
+		Detail: "write of 8 bytes at 0x8000000000003039",
+	}}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Reports
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("report round trip:\n got %#v\nwant %#v", out, in)
+	}
+}

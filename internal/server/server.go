@@ -1,0 +1,522 @@
+// Package server implements butterflyd: a TCP service running many
+// concurrent butterfly-analysis sessions, each an incremental streaming
+// driver (core.Incremental) fed over the length-prefixed wire protocol of
+// internal/proto.
+//
+// The service adds what the in-process driver cannot provide on its own:
+//
+//   - Admission control: a bounded session registry (Hello is rejected when
+//     full or draining) and a bounded analysis worker pool — at most
+//     MaxAnalyze epoch ticks run at once across all sessions, and a session
+//     whose tick is waiting for a slot simply stops reading its connection,
+//     which pushes back on the client through TCP flow control.
+//   - Quotas: per-session wire-byte and epoch budgets; exceeding one aborts
+//     the session with a typed error.
+//   - Checkpoint/resume: every Ack(l) promises tick l is folded into the
+//     session's in-memory checkpoint (the Incremental's SOS + window). A
+//     dropped connection detaches the session for a grace period; a client
+//     that re-dials with the session token resumes from the next epoch, and
+//     missed report frames are replayed from the session's replay buffer.
+//   - Graceful drain: Shutdown stops accepting sessions, lets live ones
+//     finish within the context's deadline, then force-closes.
+//
+// All sessions share one obs.Registry: the server counters (sessions
+// accepted/rejected/resumed/evicted, bytes in, reports out) sit alongside
+// the per-stage driver latencies, and obs.StartDebugServer exposes both.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"butterfly/internal/obs"
+	"butterfly/internal/proto"
+)
+
+// Config parameterizes a Server. The zero value is usable: Defaults fills
+// unset fields.
+type Config struct {
+	// MaxSessions bounds live sessions (attached + detached). 0 → 64.
+	MaxSessions int
+	// MaxAnalyze bounds concurrently running analysis ticks across all
+	// sessions — the worker pool. 0 → GOMAXPROCS.
+	MaxAnalyze int
+	// MaxThreads bounds a session's application thread count. 0 → 1024.
+	MaxThreads int
+	// MaxSessionBytes is the per-session wire-byte quota. 0 → unlimited.
+	MaxSessionBytes int64
+	// MaxSessionEpochs is the per-session epoch quota. 0 → unlimited.
+	MaxSessionEpochs int64
+	// DetachGrace is how long a disconnected session's checkpoint is
+	// retained for resume. 0 → 2 minutes.
+	DetachGrace time.Duration
+	// HelloTimeout bounds how long a fresh connection may take to present
+	// its Hello. 0 → 10 seconds.
+	HelloTimeout time.Duration
+	// Obs, when non-nil, receives service and driver telemetry.
+	Obs *obs.Registry
+}
+
+// withDefaults returns cfg with unset fields filled.
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.MaxAnalyze <= 0 {
+		cfg.MaxAnalyze = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 1024
+	}
+	if cfg.DetachGrace <= 0 {
+		cfg.DetachGrace = 2 * time.Minute
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	return cfg
+}
+
+// Server is a butterflyd instance.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	sem chan struct{} // analysis worker slots
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // live connection handlers
+
+	m serverMetrics
+}
+
+// serverMetrics holds the resolved obs handles (nil-safe when unset).
+type serverMetrics struct {
+	active, detached                                *obs.Gauge
+	accepted, rejected, resumed, evicted, completed *obs.Counter
+	bytesIn, framesIn, reportsOut                   *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		active:     reg.Gauge(obs.MetricSessionsActive),
+		detached:   reg.Gauge(obs.MetricSessionsDetached),
+		accepted:   reg.Counter(obs.MetricSessionsAccepted),
+		rejected:   reg.Counter(obs.MetricSessionsRejected),
+		resumed:    reg.Counter(obs.MetricSessionsResumed),
+		evicted:    reg.Counter(obs.MetricSessionsEvicted),
+		completed:  reg.Counter(obs.MetricSessionsCompleted),
+		bytesIn:    reg.Counter(obs.MetricServerBytesIn),
+		framesIn:   reg.Counter(obs.MetricServerFramesIn),
+		reportsOut: reg.Counter(obs.MetricServerReportsOut),
+	}
+}
+
+// Listen binds a butterflyd server to addr (":0" picks a free port).
+func Listen(addr string, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		ln:       ln,
+		sem:      make(chan struct{}, cfg.MaxAnalyze),
+		sessions: map[string]*session{},
+		conns:    map[net.Conn]struct{}{},
+		m:        newServerMetrics(cfg.Obs),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until the listener is closed (Shutdown). It
+// returns nil on a clean shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: no new sessions are admitted, live
+// connections may finish until ctx expires, then everything is closed and
+// all checkpoints are dropped. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.ln.Close()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-finished
+	}
+
+	// Drop every remaining checkpoint (detached sessions waiting on grace
+	// timers would otherwise pin their pipeline workers).
+	s.mu.Lock()
+	for id, sess := range s.sessions {
+		if sess.evictTimer != nil {
+			sess.evictTimer.Stop()
+		}
+		delete(s.sessions, id)
+		sess.inc.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// acquire takes an analysis worker slot; release returns it.
+func (s *Server) acquire() { s.sem <- struct{}{} }
+func (s *Server) release() { <-s.sem }
+
+// admit registers a fresh session, enforcing the admission bound.
+func (s *Server) admit(h proto.Hello) (*session, *proto.Reject) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, &proto.Reject{Code: "draining", Reason: "server is shutting down"}
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		return nil, &proto.Reject{Code: "full",
+			Reason: fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+	}
+	s.mu.Unlock()
+
+	sess, rej := s.newSession(h)
+	if rej != nil {
+		return nil, rej
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		sess.inc.Close()
+		return nil, &proto.Reject{Code: "draining", Reason: "server is shutting down"}
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		sess.inc.Close()
+		return nil, &proto.Reject{Code: "full",
+			Reason: fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+	}
+	sess.attached = true
+	s.sessions[sess.id] = sess
+	s.m.active.Add(1)
+	return sess, nil
+}
+
+// reattach resumes a detached session.
+func (s *Server) reattach(h proto.Hello) (*session, *proto.Reject) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[h.Resume]
+	if !ok {
+		return nil, &proto.Reject{Code: "unknown-session",
+			Reason: "no such session (expired, evicted, or never existed)"}
+	}
+	if sess.attached {
+		return nil, &proto.Reject{Code: "busy", Reason: "session already has a live connection"}
+	}
+	if h.NumThreads != sess.hello.NumThreads || h.Lifeguard != sess.hello.Lifeguard {
+		return nil, &proto.Reject{Code: "bad-request", Reason: "resume Hello does not match the session"}
+	}
+	if sess.evictTimer != nil {
+		sess.evictTimer.Stop()
+		sess.evictTimer = nil
+	}
+	sess.attached = true
+	s.m.detached.Add(-1)
+	s.m.active.Add(1)
+	return sess, nil
+}
+
+// detach parks a session for later resume; its checkpoint survives until
+// the grace timer fires.
+func (s *Server) detach(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[sess.id]; !ok {
+		return // already evicted
+	}
+	sess.attached = false
+	s.m.active.Add(-1)
+	s.m.detached.Add(1)
+	sess.evictTimer = time.AfterFunc(s.cfg.DetachGrace, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cur, ok := s.sessions[sess.id]; !ok || cur != sess || sess.attached {
+			return // resumed (or replaced) before the timer won the lock
+		}
+		delete(s.sessions, sess.id)
+		s.m.detached.Add(-1)
+		s.m.evicted.Inc()
+		sess.inc.Close()
+	})
+}
+
+// evict removes an attached session permanently (completion, quota breach,
+// protocol error).
+func (s *Server) evict(sess *session, completed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[sess.id]; !ok {
+		return
+	}
+	delete(s.sessions, sess.id)
+	if sess.attached {
+		s.m.active.Add(-1)
+	} else {
+		s.m.detached.Add(-1)
+	}
+	if completed {
+		s.m.completed.Inc()
+	} else {
+		s.m.evicted.Inc()
+	}
+	sess.inc.Close()
+}
+
+// handleConn runs one connection: Hello handshake, then the session loop.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
+	ft, payload, err := proto.ReadFrame(br)
+	if err != nil || ft != proto.FrameHello {
+		return // not even a Hello; nothing useful to answer
+	}
+	conn.SetReadDeadline(time.Time{})
+	var h proto.Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		s.reject(bw, proto.Reject{Code: "bad-request", Reason: "malformed Hello: " + err.Error()})
+		return
+	}
+	if h.Proto != proto.Version {
+		s.reject(bw, proto.Reject{Code: "version",
+			Reason: fmt.Sprintf("protocol %d not supported (want %d)", h.Proto, proto.Version)})
+		return
+	}
+
+	var sess *session
+	var rej *proto.Reject
+	if h.Resume != "" {
+		sess, rej = s.reattach(h)
+		if rej == nil {
+			s.m.resumed.Inc()
+		}
+	} else {
+		sess, rej = s.admit(h)
+		if rej == nil {
+			s.m.accepted.Inc()
+		}
+	}
+	if rej != nil {
+		s.reject(bw, *rej)
+		return
+	}
+	s.serveSession(conn, br, bw, sess, h.AckedEpoch)
+}
+
+// reject answers a refused Hello.
+func (s *Server) reject(bw *bufio.Writer, rej proto.Reject) {
+	s.m.rejected.Inc()
+	if err := proto.WriteJSON(bw, proto.FrameReject, rej); err == nil {
+		bw.Flush()
+	}
+}
+
+// sessionError aborts the session with a typed error frame.
+func (s *Server) sessionError(bw *bufio.Writer, sess *session, code, reason string) {
+	if err := proto.WriteJSON(bw, proto.FrameError, proto.ErrorMsg{Code: code, Reason: reason}); err == nil {
+		bw.Flush()
+	}
+	s.evict(sess, false)
+}
+
+// serveSession drives one attached session until the trace completes or the
+// connection drops. acked is the client's last received Ack (−1 for none):
+// report frames after it are replayed before new input is consumed.
+func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, sess *session, acked int) {
+	welcome := proto.Welcome{Session: sess.id, NextEpoch: sess.inc.NextEpoch(), Finished: sess.finished}
+	if err := proto.WriteJSON(bw, proto.FrameWelcome, welcome); err != nil {
+		s.detach(sess)
+		return
+	}
+	for _, rep := range sess.replayAfter(acked) {
+		if err := proto.WriteJSON(bw, proto.FrameReports, rep); err != nil {
+			s.detach(sess)
+			return
+		}
+		s.m.reportsOut.Add(int64(len(rep.Reports)))
+	}
+	if sess.finished {
+		s.finishSession(br, bw, sess)
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		s.detach(sess)
+		return
+	}
+
+	for {
+		ft, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			s.detach(sess)
+			return
+		}
+		s.m.framesIn.Inc()
+		frameBytes := int64(len(payload)) + 5
+		s.m.bytesIn.Add(frameBytes)
+		sess.bytesIn += frameBytes
+		if s.cfg.MaxSessionBytes > 0 && sess.bytesIn > s.cfg.MaxSessionBytes {
+			s.sessionError(bw, sess, "quota-bytes",
+				fmt.Sprintf("session exceeded %d-byte quota", s.cfg.MaxSessionBytes))
+			return
+		}
+
+		switch ft {
+		case proto.FrameEpoch:
+			num, row, err := proto.DecodeEpoch(payload, sess.hello.NumThreads)
+			if err != nil {
+				s.sessionError(bw, sess, "protocol", "bad epoch frame: "+err.Error())
+				return
+			}
+			if num != sess.inc.NextEpoch() {
+				s.sessionError(bw, sess, "protocol",
+					fmt.Sprintf("epoch %d out of order (expected %d)", num, sess.inc.NextEpoch()))
+				return
+			}
+			sess.epochs++
+			if s.cfg.MaxSessionEpochs > 0 && sess.epochs > s.cfg.MaxSessionEpochs {
+				s.sessionError(bw, sess, "quota-epochs",
+					fmt.Sprintf("session exceeded %d-epoch quota", s.cfg.MaxSessionEpochs))
+				return
+			}
+			s.acquire()
+			reps, err := sess.inc.FeedEpoch(sess.rb.Row(row))
+			s.release()
+			if err != nil {
+				s.sessionError(bw, sess, "internal", err.Error())
+				return
+			}
+			sess.recordReports(num, reps)
+			if len(reps) > 0 {
+				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: num, Reports: reps}); err != nil {
+					s.detach(sess)
+					return
+				}
+				s.m.reportsOut.Add(int64(len(reps)))
+			}
+			if err := proto.WriteFrame(bw, proto.FrameAck, proto.EncodeAck(num)); err != nil {
+				s.detach(sess)
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				s.detach(sess)
+				return
+			}
+
+		case proto.FrameEnd:
+			s.acquire()
+			res, err := sess.inc.Finish()
+			s.release()
+			if err != nil {
+				s.sessionError(bw, sess, "internal", err.Error())
+				return
+			}
+			// The trailing tick's reports are keyed one past the last epoch.
+			sess.recordReports(res.Epochs, res.Reports)
+			sess.finished = true
+			sess.done = proto.Done{Epochs: res.Epochs, Events: res.Events, Reports: sess.nreports}
+			if len(res.Reports) > 0 {
+				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: res.Epochs, Reports: res.Reports}); err != nil {
+					s.detach(sess)
+					return
+				}
+				s.m.reportsOut.Add(int64(len(res.Reports)))
+			}
+			s.finishSession(br, bw, sess)
+			return
+
+		default:
+			s.sessionError(bw, sess, "protocol", fmt.Sprintf("unexpected %v frame", ft))
+			return
+		}
+	}
+}
+
+// finishSession delivers Done and holds the session until the client sends
+// its explicit goodbye (an End frame after Done). Only that frame proves
+// the result landed: a bare EOF is indistinguishable from a middlebox
+// dropping the connection just after Done was written, so anything short of
+// the goodbye leaves the finished session resumable for the grace period.
+func (s *Server) finishSession(br *bufio.Reader, bw *bufio.Writer, sess *session) {
+	if err := proto.WriteJSON(bw, proto.FrameDone, sess.done); err != nil {
+		s.detach(sess)
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		s.detach(sess)
+		return
+	}
+	ft, _, err := proto.ReadFrame(br)
+	if err == nil && ft == proto.FrameEnd {
+		s.evict(sess, true)
+		return
+	}
+	if err != nil {
+		s.detach(sess)
+		return
+	}
+	s.sessionError(bw, sess, "protocol", fmt.Sprintf("unexpected %v frame after Done", ft))
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/lifeguard/registry"
+	"butterfly/internal/proto"
+)
+
+// session is one trace-analysis session: a checkpointable incremental
+// driver plus the bookkeeping needed to resume it after a disconnect. The
+// Incremental IS the checkpoint — SOS plus the in-window epoch summaries
+// fully summarize the strictly-ordered past (DESIGN.md §10), so a resumed
+// client replays only un-acknowledged epochs, never the whole trace.
+//
+// Concurrency: a session is driven by at most one connection goroutine at a
+// time; attachment is exclusive and guarded by the server's registry lock.
+// The fields below the mutex-free line are therefore only ever touched by
+// the currently attached goroutine (or, after detach, by nobody until the
+// next attach or the eviction timer).
+type session struct {
+	id      string
+	hello   proto.Hello // the creating Hello: lifeguard config and width
+	created time.Time
+
+	inc *core.Incremental
+	rb  *epoch.RowBuilder
+
+	// replay holds every non-empty tick's reports in tick order, so a
+	// resuming client can be handed exactly the frames it missed. Memory is
+	// bounded by the session quotas; reports on healthy workloads are rare.
+	replay []proto.Reports
+	// nreports counts all reports ever produced (the Done total).
+	nreports int
+
+	bytesIn int64
+	epochs  int64
+
+	// finished is set once End was processed and Done computed.
+	finished bool
+	done     proto.Done
+
+	// attached/evictTimer are guarded by Server.mu (registry transitions).
+	attached   bool
+	evictTimer *time.Timer
+}
+
+// newSessionID returns a 128-bit random token.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// newSession validates a fresh Hello and builds its session.
+func (s *Server) newSession(h proto.Hello) (*session, *proto.Reject) {
+	if h.NumThreads <= 0 || h.NumThreads > s.cfg.MaxThreads {
+		return nil, &proto.Reject{Code: "bad-request",
+			Reason: fmt.Sprintf("thread count %d outside 1..%d", h.NumThreads, s.cfg.MaxThreads)}
+	}
+	lg, err := registry.New(h.Lifeguard, registry.Options{HeapBase: h.HeapBase, Relaxed: h.Relaxed})
+	if err != nil {
+		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
+	}
+	d := &core.Driver{LG: lg, Parallel: !h.Serial, Obs: s.cfg.Obs}
+	inc, err := d.NewIncrementalTrimmed(h.NumThreads)
+	if err != nil {
+		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
+	}
+	id, err := newSessionID()
+	if err != nil {
+		inc.Close()
+		return nil, &proto.Reject{Code: "internal", Reason: err.Error()}
+	}
+	return &session{
+		id:      id,
+		hello:   h,
+		created: time.Now(),
+		inc:     inc,
+		rb:      epoch.NewRowBuilder(h.NumThreads),
+	}, nil
+}
+
+// replayAfter returns the report frames for ticks after acked, in order.
+func (sess *session) replayAfter(acked int) []proto.Reports {
+	i := 0
+	for i < len(sess.replay) && sess.replay[i].Epoch <= acked {
+		i++
+	}
+	return sess.replay[i:]
+}
+
+// recordReports appends one tick's reports to the replay buffer.
+func (sess *session) recordReports(tick int, reps []core.Report) {
+	if len(reps) == 0 {
+		return
+	}
+	sess.replay = append(sess.replay, proto.Reports{Epoch: tick, Reports: reps})
+	sess.nreports += len(reps)
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -87,20 +88,88 @@ func (sw *StreamWriter) WriteEpoch(row [][]Event) error {
 	if err := sw.bw.WriteByte(frameEpoch); err != nil {
 		return err
 	}
+	return writeEpochBody(sw.bw, &sw.buf, row)
+}
+
+// writeEpochBody encodes the body of an epoch frame: per thread, a uvarint
+// event count followed by the events.
+func writeEpochBody(bw *bufio.Writer, buf *[binary.MaxVarintLen64]byte, row [][]Event) error {
 	for t, evs := range row {
-		if err := sw.putUvarint(uint64(len(evs))); err != nil {
+		n := binary.PutUvarint(buf[:], uint64(len(evs)))
+		if _, err := bw.Write(buf[:n]); err != nil {
 			return err
 		}
 		for _, e := range evs {
 			if e.Kind == Heartbeat {
 				return fmt.Errorf("trace: thread %d: heartbeat marker in stream epoch", t)
 			}
-			if err := writeEvent(sw.bw, &sw.buf, e); err != nil {
+			if err := writeEvent(bw, buf, e); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// EncodeEpochRow writes one epoch row in the stream epoch-frame body
+// encoding (no frame type byte, no header) to w. It is the unit payload of
+// the butterflyd wire protocol: a row encoded here decodes with
+// DecodeEpochRow given the same thread count.
+func EncodeEpochRow(w io.Writer, row [][]Event) error {
+	bw := bufio.NewWriter(w)
+	var buf [binary.MaxVarintLen64]byte
+	if err := writeEpochBody(bw, &buf, row); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeEpochRow decodes an epoch row written by EncodeEpochRow. It applies
+// the same validation as StreamReader.NextEpoch (heartbeat rejection,
+// untrusted counts) and additionally requires that data is fully consumed,
+// so a frame with trailing garbage is rejected rather than silently
+// truncated. Truncation errors match errors.Is(err, io.ErrUnexpectedEOF).
+func DecodeEpochRow(data []byte, nthreads int) ([][]Event, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	row, err := readEpochBody(br, nthreads, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: epoch row has trailing bytes")
+	}
+	return row, nil
+}
+
+// readEpochBody decodes the body of an epoch frame. epoch only labels
+// errors; pass 0 for standalone rows.
+func readEpochBody(br *bufio.Reader, nthreads, epoch int) ([][]Event, error) {
+	row := make([][]Event, nthreads)
+	for t := range row {
+		nev, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: epoch %d thread %d count: %w", epoch, t, truncated(err))
+		}
+		// As in ReadBinary, never trust the claimed count for
+		// allocation: grow as data actually arrives.
+		capHint := nev
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		evs := make([]Event, 0, capHint)
+		for i := uint64(0); i < nev; i++ {
+			e, err := readEvent(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: epoch %d thread %d event %d: %w", epoch, t, i, truncated(err))
+			}
+			if e.Kind == Heartbeat {
+				return nil, fmt.Errorf("trace: epoch %d thread %d event %d: heartbeat marker in stream epoch", epoch, t, i)
+			}
+			evs = append(evs, e)
+		}
+		row[t] = evs
+	}
+	return row, nil
 }
 
 // Close writes the end frame, including the ground-truth section when
@@ -150,14 +219,18 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(streamMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading stream magic: %w", err)
+		// A stream that ends inside (or before) its header is truncated:
+		// report io.ErrUnexpectedEOF, not the clean io.EOF that ReadFull
+		// returns for an empty reader, so retry logic can tell a dropped
+		// connection from a complete stream.
+		return nil, fmt.Errorf("trace: reading stream magic: %w", truncated(err))
 	}
 	if string(magic) != streamMagic {
 		return nil, fmt.Errorf("trace: bad stream magic %q", magic)
 	}
 	nthreads, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading thread count: %w", err)
+		return nil, fmt.Errorf("trace: reading thread count: %w", truncated(err))
 	}
 	if nthreads > maxStreamThreads {
 		return nil, fmt.Errorf("trace: unreasonable thread count %d", nthreads)
@@ -189,30 +262,9 @@ func (sr *StreamReader) NextEpoch() ([][]Event, error) {
 		sr.global = global
 		return nil, io.EOF
 	case frameEpoch:
-		row := make([][]Event, sr.nthreads)
-		for t := range row {
-			nev, err := binary.ReadUvarint(sr.br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: epoch %d thread %d count: %w", sr.epoch, t, truncated(err))
-			}
-			// As in ReadBinary, never trust the claimed count for
-			// allocation: grow as data actually arrives.
-			capHint := nev
-			if capHint > 4096 {
-				capHint = 4096
-			}
-			evs := make([]Event, 0, capHint)
-			for i := uint64(0); i < nev; i++ {
-				e, err := readEvent(sr.br)
-				if err != nil {
-					return nil, fmt.Errorf("trace: epoch %d thread %d event %d: %w", sr.epoch, t, i, truncated(err))
-				}
-				if e.Kind == Heartbeat {
-					return nil, fmt.Errorf("trace: epoch %d thread %d event %d: heartbeat marker in stream epoch", sr.epoch, t, i)
-				}
-				evs = append(evs, e)
-			}
-			row[t] = evs
+		row, err := readEpochBody(sr.br, sr.nthreads, sr.epoch)
+		if err != nil {
+			return nil, err
 		}
 		sr.epoch++
 		sr.frames.Inc()
@@ -232,12 +284,14 @@ func (sr *StreamReader) Global() []GlobalRef { return sr.global }
 // truncated rewrites an io.EOF inside err to io.ErrUnexpectedEOF: a stream
 // that stops mid-structure is truncated, not complete. Callers wrap the
 // result, so NextEpoch returns bare io.EOF only for a well-formed end frame.
+// The original error stays in the chain (%w twice), so context added by
+// lower layers remains errors.Is/As-matchable alongside the sentinel.
 func truncated(err error) error {
 	if err == io.EOF {
 		return io.ErrUnexpectedEOF
 	}
 	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-		return fmt.Errorf("%w (%v)", io.ErrUnexpectedEOF, err)
+		return fmt.Errorf("%w: %w", io.ErrUnexpectedEOF, err)
 	}
 	return err
 }

@@ -151,6 +151,78 @@ func TestStreamRowShapeChecked(t *testing.T) {
 	}
 }
 
+// TestStreamTruncationSentinel pins the contract the remote client's retry
+// logic depends on: a stream cut at ANY byte offset — inside the header,
+// mid-frame, or mid-event — must surface an error matching
+// errors.Is(err, io.ErrUnexpectedEOF), and must never match a clean io.EOF.
+func TestStreamTruncationSentinel(t *testing.T) {
+	rows := [][][]Event{
+		{
+			{{Kind: Write, Addr: 0x10, Size: 4}, {Kind: Alloc, Addr: 0x900, Size: 64}},
+			{{Kind: Read, Addr: 0x10, Size: 4}},
+		},
+		{
+			{},
+			{{Kind: TaintSrc, Addr: 0x20, Size: 1}},
+		},
+	}
+	data := writeStreamRows(t, 2, rows, []GlobalRef{{0, 0}, {1, 0}})
+	for cut := 0; cut < len(data); cut++ {
+		var err error
+		sr, herr := NewStreamReader(bytes.NewReader(data[:cut]))
+		if herr != nil {
+			err = herr
+		} else {
+			for {
+				_, nerr := sr.NextEpoch()
+				if nerr != nil {
+					err = nerr
+					break
+				}
+			}
+		}
+		if err == nil {
+			t.Fatalf("cut at %d/%d: no error", cut, len(data))
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d/%d: error %v does not match io.ErrUnexpectedEOF", cut, len(data), err)
+		}
+	}
+}
+
+func TestEpochRowCodec(t *testing.T) {
+	rows := [][][]Event{
+		{{{Kind: Alloc, Addr: 0x100, Size: 16}}, {}},
+		{{}, {{Kind: AssignBin, Addr: 0x1, Src1: 0x2, Src2: 0x3}, {Kind: Jump, Addr: 0x1}}},
+		{{}, {}},
+	}
+	for _, row := range rows {
+		var buf bytes.Buffer
+		if err := EncodeEpochRow(&buf, row); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEpochRow(buf.Bytes(), len(row))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, row) {
+			t.Fatalf("row codec round trip:\n got %v\nwant %v", got, row)
+		}
+		// Truncation keeps the sentinel; trailing bytes are rejected.
+		if len(buf.Bytes()) > 1 {
+			if _, err := DecodeEpochRow(buf.Bytes()[:len(buf.Bytes())-1], len(row)); !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("truncated row: got %v, want io.ErrUnexpectedEOF", err)
+			}
+		}
+		if _, err := DecodeEpochRow(append(buf.Bytes(), 0x7), len(row)); err == nil {
+			t.Fatal("row with trailing bytes decoded cleanly")
+		}
+	}
+	if _, err := DecodeEpochRow([]byte{1, byte(Heartbeat), 0, 0, 0, 0, 0}, 1); err == nil {
+		t.Fatal("row with heartbeat marker decoded cleanly")
+	}
+}
+
 func TestStreamBadMagic(t *testing.T) {
 	if _, err := NewStreamReader(bytes.NewReader([]byte("BFLY1\x01"))); err == nil {
 		t.Fatal("batch magic accepted as a stream")
