@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench bench-obs soak serve-bench ci clean
+.PHONY: all build test race vet fuzz fuzz-smoke test-shards bench bench-obs bench-shards soak serve-bench ci clean
 
 all: build
 
@@ -22,6 +22,23 @@ fuzz:
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzStreamReader -fuzztime 30s
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadText -fuzztime 30s
 	$(GO) test ./internal/proto -run XXX -fuzz FuzzServerFrameDecoder -fuzztime 30s
+
+# Shorter fuzz pass for the CI gate: 10s per decoder, seeded from testdata/.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadBinary -fuzztime 10s
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzStreamReader -fuzztime 10s
+	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadText -fuzztime 10s
+	$(GO) test ./internal/proto -run XXX -fuzz FuzzServerFrameDecoder -fuzztime 10s
+
+# Shard-invariance gate: every lifeguard x driver at shards {1,2,3,8} must be
+# byte-identical to the serial oracle (reports, order, final SOS), plus the
+# property-based per-shard SOS checks — all under the race detector.
+test-shards:
+	$(GO) test ./internal/core -race -count=1 -run 'TestDifferentialShardInvariance|TestShardPropertySOS|TestIncrementalErrFinished'
+
+# Sharded-state throughput ablation (EXPERIMENTS.md "Address sharding").
+bench-shards:
+	$(GO) test ./internal/core -run XXX -bench BenchmarkShardedThroughput -benchtime 5x
 
 # The butterflyd differential soak: concurrent sessions (and the
 # connection-killing chaos variant) must match in-process RunStream exactly.
@@ -45,10 +62,11 @@ bench-obs:
 	$(GO) test ./internal/obs -run XXX -bench . -benchtime 1s
 
 # The gate a change must pass before it lands. `race` runs the full test
-# suite (including the butterflyd soak) under the race detector; `soak`
-# repeats the server differential explicitly so a cached `race` run cannot
-# mask it.
-ci: vet build race soak
+# suite (including the butterflyd soak) under the race detector; `soak` and
+# `test-shards` repeat the server and shard differentials explicitly so a
+# cached `race` run cannot mask them, and `fuzz-smoke` gives each decoder
+# fuzzer a short budget beyond its checked-in seed corpus.
+ci: vet build race soak test-shards fuzz-smoke
 
 clean:
 	rm -f core.test cpu.prof mem.prof

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	butterfly-bench [-exp all|table1|fig11|fig12|fig13|ablate|stream] [flags]
+//	butterfly-bench [-exp all|table1|fig11|fig12|fig13|ablate|stream|shards] [flags]
 //
 // -exp stream compares the streaming pipelined driver against the batch
 // driver end to end (encoded bytes in, reports out), reporting wall time,
 // throughput speedup and sampled peak heap per benchmark.
+//
+// -exp shards runs the address-sharding ablation: a state-heavy fragmented
+// heap workload at shard counts 1, 2, 4 and 8 (-shards overrides), reporting
+// events/s and the speedup over the unsharded driver. Results are identical
+// at every shard count; only the schedule changes.
 //
 // Experiments run at a configurable scale (-scale); epoch sizes and total
 // work shrink together, preserving the churn-per-epoch ratios that drive
@@ -28,8 +33,9 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig11, fig12, fig13, ablate, stream")
-		reps    = flag.Int("reps", 3, "repetitions per pipeline for -exp stream (best time wins)")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig11, fig12, fig13, ablate, stream, shards")
+		reps    = flag.Int("reps", 3, "repetitions per pipeline for -exp stream/shards (best time wins)")
+		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shards (default 1,2,4,8); elsewhere a single count for the driver")
 		scale   = flag.Float64("scale", 0, "scale factor for work and epoch sizes (0 = default 1/32)")
 		threads = flag.String("threads", "2,4,8", "comma-separated application thread counts")
 		apps    = flag.String("apps", "", "comma-separated benchmark subset (default: all six)")
@@ -66,6 +72,22 @@ func main() {
 	}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
+	}
+	var shardCounts []int
+	if *shards != "" {
+		for _, s := range strings.Split(*shards, ",") {
+			var k int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &k); err != nil || k < 1 {
+				fatalf("bad -shards value %q", s)
+			}
+			shardCounts = append(shardCounts, k)
+		}
+		if *exp != "shards" {
+			if len(shardCounts) != 1 {
+				fatalf("-shards takes a single count unless -exp shards")
+			}
+			o.Shards = shardCounts[0]
+		}
 	}
 
 	switch *exp {
@@ -106,6 +128,14 @@ func main() {
 		}
 		fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(bench.RenderStreamAblation(rows))
+	case "shards":
+		start := time.Now()
+		rows, err := bench.ShardAblation(o, shardCounts, *reps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(bench.RenderShardAblation(rows))
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}

@@ -46,6 +46,9 @@ type Options struct {
 	Cost perfmodel.CostModel
 	// Parallel runs the butterfly driver with one goroutine per thread.
 	Parallel bool
+	// Shards partitions lifeguard state into this many address shards
+	// (core.Driver.Shards); 0 or 1 runs unsharded.
+	Shards int
 }
 
 // DefaultOptions returns the nominal configuration: the paper's parameters
@@ -183,7 +186,7 @@ func (c *measureCtx) Measure(app apps.App, threads, h int) (*RunMeasurement, err
 	}
 
 	// Butterfly AddrCheck (heap-only, like the paper's prototype).
-	bres := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel}).Run(g)
+	bres := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel, Shards: o.Shards}).Run(g)
 
 	// Ground truth via the sequential oracle over the actual interleaving.
 	items, err := interleave.FromGlobal(g, res.Trace)

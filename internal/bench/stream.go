@@ -103,7 +103,7 @@ func measureStreamCell(o Options, app apps.App, T, h, reps int) (*StreamRow, err
 		if err != nil {
 			return 0, err
 		}
-		r := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel}).Run(gg)
+		r := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel, Shards: o.Shards}).Run(gg)
 		return len(r.Reports), nil
 	}
 	runStream := func() (int, error) {
@@ -111,7 +111,7 @@ func measureStreamCell(o Options, app apps.App, T, h, reps int) (*StreamRow, err
 		if err != nil {
 			return 0, err
 		}
-		r, err := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel}).RunStream(epoch.NewStreamRows(sr))
+		r, err := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel, Shards: o.Shards}).RunStream(epoch.NewStreamRows(sr))
 		if err != nil {
 			return 0, err
 		}

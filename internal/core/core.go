@@ -90,6 +90,12 @@ type PassContext struct {
 	// which always exists) is non-nil exactly when aggregation is active.
 	// Set only during the second pass; the wings slice is still passed.
 	WingAggs [3]any
+	// Sharding is the run's shard scheduler when the driver executes in
+	// sharded mode (DESIGN.md §11), nil otherwise. A sharded lifeguard
+	// branches on it: non-nil means SOS, Head, Epoch1Back/Epoch2Back and Own
+	// all carry the sharded representations, and the pass must run its work
+	// as per-shard tasks via Sharding.Do.
+	Sharding *Sharding
 }
 
 // WingAggregator is an optional Lifeguard extension. The driver's naive
@@ -166,6 +172,15 @@ type Driver struct {
 	// barriers (the paper's lifeguard threads). When false everything runs
 	// on the calling goroutine, which is deterministic and simpler to debug.
 	Parallel bool
+	// Shards partitions the lifeguard's address-indexed state into this many
+	// disjoint address shards and runs every pass and SOS update as
+	// independent per-shard tasks (DESIGN.md §11). Takes effect only when
+	// the lifeguard implements ShardedLifeguard and K > 1; results are
+	// byte-identical to an unsharded run for every K. Shard tasks run in
+	// parallel only when Parallel is also set — Shards alone changes the
+	// state layout, not the scheduling, which is useful for deterministic
+	// debugging of the sharded representation.
+	Shards int
 	// KeepHistory retains every epoch's summaries and SOS in the Result for
 	// inspection by tests and the experiment harness. Long runs should leave
 	// it false: the driver then retains only the sliding window.
@@ -211,15 +226,21 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 	// summaries excluding thread t, maintained over the same window.
 	sums := make([][]Summary, L)
 	m := d.metrics(T)
+	sh := d.newSharding(m)
 	wa, _ := d.LG.(WingAggregator)
+	if sh != nil {
+		// Sharded runs fold wings inside each per-shard task; the driver's
+		// whole-summary exclusive aggregates don't apply to sharded summaries.
+		wa = nil
+	}
 	var aggRows [][]any
 	if wa != nil {
 		aggRows = make([][]any, L)
 	}
 	sos := make([]State, L+2)
-	sos[0] = d.LG.BottomState()
+	sos[0] = d.bottomState(sh)
 	if L+2 > 1 {
-		sos[1] = d.LG.BottomState()
+		sos[1] = d.bottomState(sh)
 	}
 
 	sumAt := func(l int) []Summary {
@@ -236,7 +257,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 	}
 
 	firstPass := func(l int) {
-		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2)}
+		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2), Sharding: sh}
 		out := make([]Summary, T)
 		reports := make([][]Report, T)
 		run := func(t int) {
@@ -261,7 +282,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 	}
 
 	secondPass := func(l int) {
-		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2)}
+		ctx := PassContext{SOS: sos[l], Epoch1Back: sumAt(l - 1), Epoch2Back: sumAt(l - 2), Sharding: sh}
 		aggs := [3][]any{aggAt(l - 1), aggAt(l), aggAt(l + 1)}
 		reports := make([][]Report, T)
 		run := func(t int) {
@@ -302,7 +323,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		if l >= 2 {
 			// SOSₗ = GEN_{l−2} ∪ (SOS_{l−1} − KILL_{l−2}).
 			start := m.now()
-			sos[l] = d.LG.UpdateSOS(sos[l-1], sumAt(l-3), sumAt(l-2))
+			sos[l] = d.updateSOS(sh, sos[l-1], sumAt(l-3), sumAt(l-2))
 			m.stageDone(stageSOSUpdate, l, tidDriver, start)
 			m.sosUpdated(sos[l])
 		}
@@ -332,12 +353,15 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 	for l := L; l < L+2; l++ {
 		if l >= 2 {
 			start := m.now()
-			sos[l] = d.LG.UpdateSOS(sos[l-1], sumAt(l-3), sumAt(l-2))
+			sos[l] = d.updateSOS(sh, sos[l-1], sumAt(l-3), sumAt(l-2))
 			m.stageDone(stageSOSUpdate, l, tidDriver, start)
 			m.sosUpdated(sos[l])
 		}
 	}
-	res.FinalSOS = sos[L+1]
+	// FinalSOS is always the canonical unsharded representation so results
+	// compare equal across shard counts; SOSHistory (below) keeps the raw
+	// per-epoch states, sharded in sharded runs.
+	res.FinalSOS = d.mergeSOS(sh, sos[L+1])
 	if d.KeepHistory {
 		res.Summaries = sums
 		res.SOSHistory = sos

@@ -1,10 +1,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"butterfly/internal/epoch"
 )
+
+// ErrFinished is returned (wrapped) by FeedEpoch and Finish once the
+// incremental driver has been finished or closed: the sliding window has
+// been flushed by the trailing pass, so no further epochs can be analyzed.
+// Callers detect it with errors.Is.
+var ErrFinished = errors.New("core: incremental driver is finished")
 
 // Incremental is the push-mode form of the streaming driver: instead of the
 // driver pulling epoch rows from a BlockSource (RunStream), the caller feeds
@@ -55,13 +62,25 @@ func (d *Driver) newIncremental(T int, trim bool) (*Incremental, error) {
 		return nil, fmt.Errorf("core: KeepHistory is incompatible with trimmed incremental mode")
 	}
 	st := &streamState{d: d, T: T, res: &Result{}}
-	st.wa, _ = d.LG.(WingAggregator)
 	st.m = d.metrics(T)
-	st.sosCur = d.LG.BottomState() // SOS₀
+	st.sh = d.newSharding(st.m)
+	if st.sh == nil {
+		// Sharded runs fold wings inside each per-shard task (see Run).
+		st.wa, _ = d.LG.(WingAggregator)
+	}
+	st.sosCur = d.bottomState(st.sh) // SOS₀
 	if d.Parallel && T > 1 {
 		st.pipe = newStreamPipeline(d.LG, T)
 	}
 	return &Incremental{st: st, trim: trim}, nil
+}
+
+// Shards returns the run's effective shard count (1 when unsharded).
+func (inc *Incremental) Shards() int {
+	if inc.st.sh == nil {
+		return 1
+	}
+	return inc.st.sh.K()
 }
 
 // NumThreads returns the row width every fed row must have.
@@ -80,7 +99,7 @@ func (inc *Incremental) pipelined() bool { return inc.st.pipe != nil }
 // them. The row must be labeled with the epoch NextEpoch reports.
 func (inc *Incremental) FeedEpoch(row []*epoch.Block) ([]Report, error) {
 	if inc.finished || inc.closed {
-		return nil, fmt.Errorf("core: FeedEpoch after Finish/Close")
+		return nil, fmt.Errorf("%w: FeedEpoch after Finish/Close", ErrFinished)
 	}
 	if err := inc.st.checkRow(row); err != nil {
 		return nil, err
@@ -97,7 +116,7 @@ func (inc *Incremental) FeedEpoch(row []*epoch.Block) ([]Report, error) {
 // Finish does not shut the pipeline down — call Close when done.
 func (inc *Incremental) Finish() (*Result, error) {
 	if inc.finished || inc.closed {
-		return nil, fmt.Errorf("core: Finish after Finish/Close")
+		return nil, fmt.Errorf("%w: Finish after Finish/Close", ErrFinished)
 	}
 	inc.finished = true
 	inc.st.finish()

@@ -57,7 +57,12 @@ func (re *ReachingExprs) Name() string { return "reaching-expressions" }
 func (re *ReachingExprs) BottomState() State { return sets.NewSet() }
 
 // StateSize implements StateSizer: the number of available expressions.
-func (re *ReachingExprs) StateSize(s State) int { return s.(sets.Set).Len() }
+func (re *ReachingExprs) StateSize(s State) int {
+	if ss, ok := s.(sets.ShardedSet); ok {
+		return ss.Len()
+	}
+	return s.(sets.Set).Len()
+}
 
 func reSum(s Summary) *RESummary {
 	if s == nil {
@@ -91,6 +96,9 @@ func (re *ReachingExprs) lsos(t trace.ThreadID, ctx PassContext) sets.Set {
 
 // FirstPass implements Lifeguard.
 func (re *ReachingExprs) FirstPass(b *epoch.Block, ctx PassContext) (Summary, []Report) {
+	if ctx.Sharding != nil {
+		return re.firstPassSharded(b, ctx)
+	}
 	effects := re.U.BlockExprEffects(b)
 	blockSum := dataflow.BlockSummary(effects)
 	kso := sets.NewSet()
@@ -106,6 +114,11 @@ func (re *ReachingExprs) FirstPass(b *epoch.Block, ctx PassContext) (Summary, []
 // KILL-SIDE-OUT (the meet is ∪, not the classic ∩: *any* wing kill
 // invalidates an expression); IN_{l,t,i} = LSOS_{l,t,i} − KILL-SIDE-IN.
 func (re *ReachingExprs) SecondPass(b *epoch.Block, ctx PassContext, wings []Summary) []Report {
+	if ctx.Sharding != nil {
+		// Sharded runs have no Check/Record hooks (CanShard); nothing
+		// observable to compute.
+		return nil
+	}
 	ksi := sets.NewSet()
 	for _, w := range wings {
 		ksi.AddAll(reSum(w).KillSideOut)

@@ -206,6 +206,8 @@ type streamState struct {
 	// lifeguard implements WingAggregator.
 	aggs [streamWindow][]any
 	wa   WingAggregator
+	// sh is the shard scheduler when the run is sharded (DESIGN.md §11).
+	sh *Sharding
 	// sosPrev and sosCur are SOS_{l−1} and SOSₗ at tick entry.
 	sosPrev, sosCur State
 	// prevBlocks is epoch l−1's row (second-pass input).
@@ -265,11 +267,11 @@ func (st *streamState) tick(row []*epoch.Block) {
 		epoch:   l,
 		fBlocks: row,
 		fOut:    make([]Summary, st.T),
-		fctx:    PassContext{SOS: st.sosCur, Epoch1Back: st.rowSums(l - 1), Epoch2Back: st.rowSums(l - 2)},
+		fctx:    PassContext{SOS: st.sosCur, Epoch1Back: st.rowSums(l - 1), Epoch2Back: st.rowSums(l - 2), Sharding: st.sh},
 	}
 	if w.runS {
 		w.sBlocks = st.prevBlocks
-		w.sctx = PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(l - 2), Epoch2Back: st.rowSums(l - 3)}
+		w.sctx = PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(l - 2), Epoch2Back: st.rowSums(l - 3), Sharding: st.sh}
 		w.wingRows = [3][]Summary{st.rowSums(l - 2), st.rowSums(l - 1), w.fOut}
 		w.sAggs = [3][]any{st.rowAggs(l - 2), st.rowAggs(l - 1), nil} // [2] is filled post-barrier
 	}
@@ -287,10 +289,10 @@ func (st *streamState) tick(row []*epoch.Block) {
 	// tick) advances the SOS.
 	var sosNext State
 	if l == 0 {
-		sosNext = d.LG.BottomState()
+		sosNext = d.bottomState(st.sh)
 	} else {
 		start := st.m.now()
-		sosNext = d.LG.UpdateSOS(st.sosCur, st.rowSums(l-2), st.rowSums(l-1))
+		sosNext = d.updateSOS(st.sh, st.sosCur, st.rowSums(l-2), st.rowSums(l-1))
 		st.m.stageDone(stageSOSUpdate, l+1, tidDriver, start)
 		st.m.sosUpdated(sosNext)
 	}
@@ -331,7 +333,7 @@ func (st *streamState) finish() {
 		m:       st.m,
 		epoch:   L,
 		sBlocks: st.prevBlocks,
-		sctx:    PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(L - 2), Epoch2Back: st.rowSums(L - 3)},
+		sctx:    PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(L - 2), Epoch2Back: st.rowSums(L - 3), Sharding: st.sh},
 		// Epoch L does not exist; the tail wing is clipped.
 		wingRows: [3][]Summary{st.rowSums(L - 2), st.rowSums(L - 1), nil},
 		sAggs:    [3][]any{st.rowAggs(L - 2), st.rowAggs(L - 1), nil},
@@ -339,13 +341,14 @@ func (st *streamState) finish() {
 	st.exec(w)
 	st.collect(w)
 	start := st.m.now()
-	final := d.LG.UpdateSOS(st.sosCur, st.rowSums(L-2), st.rowSums(L-1))
+	final := d.updateSOS(st.sh, st.sosCur, st.rowSums(L-2), st.rowSums(L-1))
 	st.m.stageDone(stageSOSUpdate, L+1, tidDriver, start)
 	st.m.sosUpdated(final)
 	if d.KeepHistory {
 		st.res.SOSHistory = append(st.res.SOSHistory, final)
 	}
-	st.res.FinalSOS = final
+	// As in Run, FinalSOS is always the canonical unsharded representation.
+	st.res.FinalSOS = d.mergeSOS(st.sh, final)
 }
 
 // exec runs one tick's passes, pipelined when workers exist.

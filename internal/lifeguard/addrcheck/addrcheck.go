@@ -82,6 +82,9 @@ func (a *Butterfly) BottomState() core.State { return sets.NewIntervalSet() }
 // StateSize implements core.StateSizer: the number of disjoint allocated
 // intervals in the SOS (its metadata footprint, not its byte coverage).
 func (a *Butterfly) StateSize(s core.State) int {
+	if si, ok := s.(sets.ShardedIntervals); ok {
+		return si.NumIntervals()
+	}
 	return s.(*sets.IntervalSet).NumIntervals()
 }
 
@@ -126,6 +129,9 @@ func (a *Butterfly) lsos(t trace.ThreadID, ctx core.PassContext) *sets.IntervalS
 // traditional per-instruction checks against the LSOS, updating it in place
 // (LSOS_{l,t,k} = GEN ∪ (LSOS_{l,t,k−1} − KILL)).
 func (a *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summary, []core.Report) {
+	if ctx.Sharding != nil {
+		return a.firstPassSharded(b, ctx, ctx.Sharding)
+	}
 	s := &Summary{
 		Gen:     sets.NewIntervalSet(),
 		Kill:    sets.NewIntervalSet(),
@@ -212,6 +218,9 @@ func (a *Butterfly) MergeWings(x, y any) any {
 // it; the S.ACCESS ∩ s-changes term flags the body's allocs/frees (the wing
 // access is flagged symmetrically when its own block is the body).
 func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []core.Summary) []core.Report {
+	if ctx.Sharding != nil {
+		return a.secondPassSharded(b, wings, ctx.Sharding)
+	}
 	// The checks only ever ask "does [lo,hi) overlap the wing union?" —
 	// overlap against a union is overlap against any member, so with
 	// driver-folded aggregates each query probes the ≤3 window rows

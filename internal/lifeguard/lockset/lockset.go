@@ -94,6 +94,13 @@ func (l *Butterfly) BottomState() core.State {
 // StateSize implements core.StateSizer: the number of locations with a
 // tracked candidate lockset.
 func (l *Butterfly) StateSize(s core.State) int {
+	if ss, ok := s.(*shardedState); ok {
+		n := 0
+		for _, p := range ss.pieces {
+			n += len(p.perLoc)
+		}
+		return n
+	}
 	return len(s.(*state).perLoc)
 }
 
@@ -121,6 +128,9 @@ func intersect(a, b sets.Set) sets.Set {
 // FirstPass implements core.Lifeguard: thread the held-lock set through the
 // block and summarize per-location lock disciplines.
 func (l *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summary, []core.Report) {
+	if ctx.Sharding != nil {
+		return l.firstPassSharded(b, ctx, ctx.Sharding)
+	}
 	s := &Summary{thread: b.Thread, perLoc: map[uint64]*locInfo{}}
 	if head := sum(ctx.Head); head != nil {
 		s.entryHeld = head.exitHeld.Clone()
@@ -153,6 +163,9 @@ func (l *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 // SecondPass implements core.Lifeguard: check each access against the
 // candidate refined by the strongly ordered past and every wing access.
 func (l *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []core.Summary) []core.Report {
+	if ctx.Sharding != nil {
+		return l.secondPassSharded(b, ctx, wings, ctx.Sharding)
+	}
 	sos := ctx.SOS.(*state)
 	own := sum(ctx.Own)
 	held := own.entryHeld.Clone()

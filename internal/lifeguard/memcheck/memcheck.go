@@ -74,6 +74,9 @@ func (m *Butterfly) BottomState() core.State { return sets.NewIntervalSet() }
 // StateSize implements core.StateSizer: the number of disjoint defined
 // intervals in the SOS.
 func (m *Butterfly) StateSize(s core.State) int {
+	if si, ok := s.(sets.ShardedIntervals); ok {
+		return si.NumIntervals()
+	}
 	return s.(*sets.IntervalSet).NumIntervals()
 }
 
@@ -116,6 +119,9 @@ func (m *Butterfly) lsos(t trace.ThreadID, ctx core.PassContext) *sets.IntervalS
 // FirstPass implements core.Lifeguard: build the summary and run the
 // per-instruction definedness checks against the LSOS.
 func (m *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summary, []core.Report) {
+	if ctx.Sharding != nil {
+		return m.firstPassSharded(b, ctx, ctx.Sharding)
+	}
 	s := &Summary{
 		Gen:     sets.NewIntervalSet(),
 		Kill:    sets.NewIntervalSet(),
@@ -157,6 +163,9 @@ func (m *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 // at worst early — like the paper's "tainted early" argument, harmless to
 // soundness.)
 func (m *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []core.Summary) []core.Report {
+	if ctx.Sharding != nil {
+		return m.secondPassSharded(b, wings, ctx.Sharding)
+	}
 	wingKills := sets.NewIntervalSet()
 	for _, w := range wings {
 		wingKills.UnionInPlace(sum(w).KillAny)

@@ -1,0 +1,197 @@
+package memcheck
+
+import (
+	"fmt"
+
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/sets"
+	"butterfly/internal/trace"
+)
+
+// Sharded execution (DESIGN.md §11). Definedness facts are per byte, so the
+// state decomposes by address granule (sets.ShardOfAddr): shard k's task
+// replays the block's events against shard k of the LSOS, restricted to the
+// event range's shard-k pieces (sets.ForEachShardPiece), and records a
+// per-event verdict bit. A whole-range definedness check is the conjunction
+// of its per-piece checks, so "report" (its negation) is the disjunction of
+// the per-shard bits; merging the bits in event order reconstructs the
+// serial report sequence exactly, including report text, which names the
+// full event range.
+
+// shardedSummary is a Summary split into per-shard pieces.
+type shardedSummary struct {
+	pieces []*Summary
+}
+
+var _ core.ShardedLifeguard = (*Butterfly)(nil)
+
+// CanShard implements core.ShardedLifeguard.
+func (m *Butterfly) CanShard() bool { return true }
+
+// BottomStateSharded implements core.ShardedLifeguard.
+func (m *Butterfly) BottomStateSharded(sh *core.Sharding) core.State {
+	return sets.NewShardedIntervals(sh.K())
+}
+
+// MergeSOS implements core.ShardedLifeguard.
+func (m *Butterfly) MergeSOS(s core.State) core.State {
+	return s.(sets.ShardedIntervals).Merge()
+}
+
+// pieceRow views one shard of an epoch row of sharded summaries.
+func pieceRow(row []core.Summary, k int) []core.Summary {
+	if row == nil {
+		return nil
+	}
+	out := make([]core.Summary, len(row))
+	for t, s := range row {
+		if s != nil {
+			out[t] = s.(*shardedSummary).pieces[k]
+		}
+	}
+	return out
+}
+
+// pieceCtx views one shard of a sharded pass context, so the unsharded lsos
+// runs unchanged against shard k of every input.
+func pieceCtx(ctx core.PassContext, k int) core.PassContext {
+	c := core.PassContext{SOS: ctx.SOS.(sets.ShardedIntervals)[k]}
+	if ctx.Head != nil {
+		c.Head = ctx.Head.(*shardedSummary).pieces[k]
+	}
+	c.Epoch1Back = pieceRow(ctx.Epoch1Back, k)
+	c.Epoch2Back = pieceRow(ctx.Epoch2Back, k)
+	return c
+}
+
+// firstPassSharded runs the first pass as K per-shard tasks producing
+// per-event verdict bits, then merges the bits in event order.
+func (m *Butterfly) firstPassSharded(b *epoch.Block, ctx core.PassContext, sh *core.Sharding) (core.Summary, []core.Report) {
+	K := sh.K()
+	ss := &shardedSummary{pieces: make([]*Summary, K)}
+	bads := make([][]bool, K)
+	sh.Do(func(k int) {
+		s := &Summary{
+			Gen:     sets.NewIntervalSet(),
+			Kill:    sets.NewIntervalSet(),
+			KillAny: sets.NewIntervalSet(),
+			Reads:   sets.NewIntervalSet(),
+		}
+		lsos := m.lsos(b.Thread, pieceCtx(ctx, k))
+		var bad []bool
+		for i, e := range b.Events {
+			if !m.relevant(e) {
+				continue
+			}
+			lo, hi := e.Lo(), e.Hi()
+			if sk, one := sets.SingleShardOfRange(lo, hi, K); one && sk != k {
+				continue
+			}
+			switch e.Kind {
+			case trace.Read:
+				sets.ForEachShardPiece(k, K, lo, hi, func(plo, phi uint64) {
+					s.Reads.AddRange(plo, phi)
+					if !lsos.ContainsRange(plo, phi) {
+						if bad == nil {
+							bad = make([]bool, len(b.Events))
+						}
+						bad[i] = true
+					}
+				})
+			case trace.Write:
+				sets.ForEachShardPiece(k, K, lo, hi, func(plo, phi uint64) {
+					lsos.AddRange(plo, phi)
+					s.Gen.AddRange(plo, phi)
+					s.Kill.RemoveRange(plo, phi)
+				})
+			case trace.Alloc, trace.Free:
+				sets.ForEachShardPiece(k, K, lo, hi, func(plo, phi uint64) {
+					lsos.RemoveRange(plo, phi)
+					s.Kill.AddRange(plo, phi)
+					s.Gen.RemoveRange(plo, phi)
+					s.KillAny.AddRange(plo, phi)
+				})
+			}
+		}
+		ss.pieces[k] = s
+		bads[k] = bad
+	})
+	var reports []core.Report
+	for i, e := range b.Events {
+		if e.Kind != trace.Read || !m.relevant(e) {
+			continue
+		}
+		for k := range bads {
+			if bads[k] != nil && bads[k][i] {
+				reports = append(reports, core.Report{
+					Ref: b.Ref(i), Ev: e, Code: CodeUndefRead,
+					Detail: fmt.Sprintf("read of [%#x,%#x) may see uninitialized memory", e.Lo(), e.Hi()),
+				})
+				break
+			}
+		}
+	}
+	return ss, reports
+}
+
+// secondPassSharded runs the isolation check as K per-shard tasks.
+func (m *Butterfly) secondPassSharded(b *epoch.Block, wings []core.Summary, sh *core.Sharding) []core.Report {
+	K := sh.K()
+	bads := make([][]bool, K)
+	sh.Do(func(k int) {
+		wingKills := sets.NewIntervalSet()
+		for _, w := range wings {
+			wingKills.UnionInPlace(w.(*shardedSummary).pieces[k].KillAny)
+		}
+		if wingKills.Empty() {
+			return
+		}
+		var bad []bool
+		for i, e := range b.Events {
+			if e.Kind != trace.Read || !m.relevant(e) {
+				continue
+			}
+			lo, hi := e.Lo(), e.Hi()
+			if sk, one := sets.SingleShardOfRange(lo, hi, K); one && sk != k {
+				continue
+			}
+			sets.ForEachShardPiece(k, K, lo, hi, func(plo, phi uint64) {
+				if wingKills.OverlapsRange(plo, phi) {
+					if bad == nil {
+						bad = make([]bool, len(b.Events))
+					}
+					bad[i] = true
+				}
+			})
+		}
+		bads[k] = bad
+	})
+	var reports []core.Report
+	for i, e := range b.Events {
+		if e.Kind != trace.Read || !m.relevant(e) {
+			continue
+		}
+		for k := range bads {
+			if bads[k] != nil && bads[k][i] {
+				reports = append(reports, core.Report{
+					Ref: b.Ref(i), Ev: e, Code: CodeIsolation,
+					Detail: fmt.Sprintf("read of [%#x,%#x) concurrent with a definedness change", e.Lo(), e.Hi()),
+				})
+				break
+			}
+		}
+	}
+	return reports
+}
+
+// UpdateSOSSharded implements core.ShardedLifeguard: shard k's update is the
+// serial UpdateSOS over shard k of the state and the epoch rows.
+func (m *Butterfly) UpdateSOSSharded(sh *core.Sharding, prev core.State, prevEpoch, curEpoch []core.Summary) core.State {
+	ps := prev.(sets.ShardedIntervals)
+	out := make(sets.ShardedIntervals, sh.K())
+	sh.Do(func(k int) {
+		out[k] = m.UpdateSOS(ps[k], pieceRow(prevEpoch, k), pieceRow(curEpoch, k)).(*sets.IntervalSet)
+	})
+	return out
+}

@@ -1,0 +1,46 @@
+package taintcheck
+
+import (
+	"butterfly/internal/core"
+	"butterfly/internal/sets"
+)
+
+// Sharded execution (DESIGN.md §11). TaintCheck's Check algorithm chases
+// parents across arbitrary addresses (x ← {a, b} links locations in
+// different shards), so the two passes themselves are not shard-local: they
+// keep their serial logic and the driver's usual per-block parallelism. What
+// DOES decompose is the SOS: it is a plain set of tainted locations, and the
+// §6.2 update (GENₗ ∪ (SOS − KILLₗ)) is elementwise, so shard k's task
+// rebuilds exactly the locations hashing to k (sets.ShardOf). The passes
+// read the sharded SOS through lsos, which folds the pieces back into one
+// view — the set contents are identical to the serial LSOS, so every
+// resolver decision, and hence every report, is byte-identical.
+
+var _ core.ShardedLifeguard = (*Butterfly)(nil)
+
+// CanShard implements core.ShardedLifeguard.
+func (tc *Butterfly) CanShard() bool { return true }
+
+// BottomStateSharded implements core.ShardedLifeguard.
+func (tc *Butterfly) BottomStateSharded(sh *core.Sharding) core.State {
+	return sets.NewShardedSet(sh.K())
+}
+
+// MergeSOS implements core.ShardedLifeguard.
+func (tc *Butterfly) MergeSOS(s core.State) core.State {
+	return s.(sets.ShardedSet).Merge()
+}
+
+// UpdateSOSSharded implements core.ShardedLifeguard: shard k scans the
+// epoch's LASTCHECK conclusions restricted to locations hashing to k.
+func (tc *Butterfly) UpdateSOSSharded(sh *core.Sharding, prev core.State, prevEpoch, curEpoch []core.Summary) core.State {
+	ps := prev.(sets.ShardedSet)
+	K := sh.K()
+	out := make(sets.ShardedSet, K)
+	sh.Do(func(k int) {
+		out[k] = tc.updateSOS(ps[k], prevEpoch, curEpoch, func(x uint64) bool {
+			return sets.ShardOf(x, K) == k
+		})
+	})
+	return out
+}

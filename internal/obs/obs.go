@@ -57,6 +57,13 @@ const (
 	MetricSOSSize      = "sos.size"           // lifeguard SOS cardinality after each update
 	MetricSOSPeak      = "sos.peak_size"      // high-water mark of sos.size
 
+	// Address-range sharding (DESIGN.md §11).
+	MetricShards            = "driver.shards"       // gauge: effective shard count of the run
+	MetricShardTasks        = "shard.tasks"         // counter: per-shard tasks executed
+	MetricShardTaskNs       = "stage.shard.ns"      // histogram: one observation per shard task
+	MetricShardInflight     = "shard.inflight"      // gauge: shard tasks currently executing
+	MetricShardInflightPeak = "shard.peak_inflight" // gauge: high-water mark of shard.inflight
+
 	// butterflyd service metrics (internal/server). Counters unless noted;
 	// driver-stage metrics above aggregate across sessions, since every
 	// session's driver shares the server's registry.

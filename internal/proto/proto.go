@@ -131,6 +131,10 @@ type Welcome struct {
 	// Finished marks a session whose analysis already completed: no epochs
 	// are expected, only the Reports replay and Done follow.
 	Finished bool `json:"finished,omitempty"`
+	// Shards is the session's effective address-shard count (1 when the
+	// lifeguard runs unsharded), reported so clients can log the analysis
+	// configuration.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Reject refuses a Hello.

@@ -48,6 +48,10 @@ type Config struct {
 	// MaxAnalyze bounds concurrently running analysis ticks across all
 	// sessions — the worker pool. 0 → GOMAXPROCS.
 	MaxAnalyze int
+	// Shards partitions each session's lifeguard state into this many
+	// address shards (core.Driver.Shards) when the lifeguard supports it;
+	// results are identical at any count. 0 → GOMAXPROCS.
+	Shards int
 	// MaxThreads bounds a session's application thread count. 0 → 1024.
 	MaxThreads int
 	// MaxSessionBytes is the per-session wire-byte quota. 0 → unlimited.
@@ -71,6 +75,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxAnalyze <= 0 {
 		cfg.MaxAnalyze = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxThreads <= 0 {
 		cfg.MaxThreads = 1024
@@ -387,7 +394,7 @@ func (s *Server) sessionError(bw *bufio.Writer, sess *session, code, reason stri
 // connection drops. acked is the client's last received Ack (−1 for none):
 // report frames after it are replayed before new input is consumed.
 func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, sess *session, acked int) {
-	welcome := proto.Welcome{Session: sess.id, NextEpoch: sess.inc.NextEpoch(), Finished: sess.finished}
+	welcome := proto.Welcome{Session: sess.id, NextEpoch: sess.inc.NextEpoch(), Finished: sess.finished, Shards: sess.inc.Shards()}
 	if err := proto.WriteJSON(bw, proto.FrameWelcome, welcome); err != nil {
 		s.detach(sess)
 		return

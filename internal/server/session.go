@@ -69,7 +69,7 @@ func (s *Server) newSession(h proto.Hello) (*session, *proto.Reject) {
 	if err != nil {
 		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
 	}
-	d := &core.Driver{LG: lg, Parallel: !h.Serial, Obs: s.cfg.Obs}
+	d := &core.Driver{LG: lg, Parallel: !h.Serial, Shards: s.cfg.Shards, Obs: s.cfg.Obs}
 	inc, err := d.NewIncrementalTrimmed(h.NumThreads)
 	if err != nil {
 		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}

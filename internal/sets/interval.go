@@ -49,8 +49,13 @@ func NewIntervalSet(ivs ...Interval) *IntervalSet {
 	return s
 }
 
-// Clone returns an independent copy of s.
+// Clone returns an independent copy of s. The empty set is canonically
+// represented with a nil slice (every mutator preserves this), so empty sets
+// compare equal under reflect.DeepEqual no matter how they were produced.
 func (s *IntervalSet) Clone() *IntervalSet {
+	if len(s.ivs) == 0 {
+		return &IntervalSet{}
+	}
 	c := &IntervalSet{ivs: make([]Interval, len(s.ivs))}
 	copy(c.ivs, s.ivs)
 	return c
