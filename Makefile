@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz fuzz-smoke test-shards bench bench-obs bench-shards soak serve-bench ci clean
+.PHONY: all build test race vet fuzz fuzz-smoke test-shards bench bench-obs bench-shards bench-alloc soak serve-bench ci clean
 
 all: build
 
@@ -38,7 +38,15 @@ test-shards:
 
 # Sharded-state throughput ablation (EXPERIMENTS.md "Address sharding").
 bench-shards:
-	$(GO) test ./internal/core -run XXX -bench BenchmarkShardedThroughput -benchtime 5x
+	$(GO) test ./internal/core -run XXX -bench BenchmarkShardedThroughput -benchtime 5x -benchmem
+
+# GC-pressure gate (DESIGN.md §12, EXPERIMENTS.md "Allocation ablation").
+# TestSteadyStateAllocBudget fails the build if the warm epoch loop
+# allocates more than its fixed per-epoch budget; the -benchmem run prints
+# the full-stack allocs/op to compare against BENCH_alloc.json.
+bench-alloc:
+	$(GO) test ./internal/core -count=1 -run TestSteadyStateAllocBudget -v
+	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughput -benchtime 10x -benchmem
 
 # The butterflyd differential soak: concurrent sessions (and the
 # connection-killing chaos variant) must match in-process RunStream exactly.
@@ -47,26 +55,28 @@ soak:
 
 # End-to-end server throughput: client encode -> TCP -> decode -> analysis.
 serve-bench:
-	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughput -benchtime 5x -count 2
+	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughput -benchtime 5x -count 2 -benchmem
 
 # Batch-vs-stream driver microbenchmarks (bytes in, reports out).
 bench:
-	$(GO) test ./internal/core -run XXX -bench 'BenchmarkDriver(Batch|Stream)$$' -benchtime 3x
+	$(GO) test ./internal/core -run XXX -bench 'BenchmarkDriver(Batch|Stream)$$' -benchtime 3x -benchmem
 
 # Telemetry overhead guard: the streaming pipeline uninstrumented, with a
 # registry, and with registry + span recorder, plus the per-hook
 # microbenchmarks. The instr=nil row must track `make bench` within noise
 # (<3%); see EXPERIMENTS.md "Telemetry overhead".
 bench-obs:
-	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 3x -count 3
-	$(GO) test ./internal/obs -run XXX -bench . -benchtime 1s
+	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 3x -count 3 -benchmem
+	$(GO) test ./internal/obs -run XXX -bench . -benchtime 1s -benchmem
 
 # The gate a change must pass before it lands. `race` runs the full test
 # suite (including the butterflyd soak) under the race detector; `soak` and
 # `test-shards` repeat the server and shard differentials explicitly so a
-# cached `race` run cannot mask them, and `fuzz-smoke` gives each decoder
-# fuzzer a short budget beyond its checked-in seed corpus.
-ci: vet build race soak test-shards fuzz-smoke
+# cached `race` run cannot mask them, `fuzz-smoke` gives each decoder
+# fuzzer a short budget beyond its checked-in seed corpus, and
+# `bench-alloc` fails the build if the steady-state epoch loop starts
+# allocating again.
+ci: vet build race soak test-shards fuzz-smoke bench-alloc
 
 clean:
-	rm -f core.test cpu.prof mem.prof
+	rm -f core.test server.test cpu.prof mem.prof

@@ -13,6 +13,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"butterfly/internal/apps"
@@ -128,6 +129,11 @@ type RunMeasurement struct {
 	Epochs                                        int
 	Events                                        int
 	FilterRate                                    float64
+	// Memory discipline (DESIGN.md §12), sampled around the butterfly
+	// driver run for this cell: high-water live heap above the pre-run
+	// baseline, and completed GC cycles the run triggered.
+	PeakHeapBytes uint64
+	GCCycles      uint32
 }
 
 // seqCache caches the sequential-unmonitored baseline per app.
@@ -185,8 +191,20 @@ func (c *measureCtx) Measure(app apps.App, threads, h int) (*RunMeasurement, err
 		return nil, err
 	}
 
-	// Butterfly AddrCheck (heap-only, like the paper's prototype).
+	// Butterfly AddrCheck (heap-only, like the paper's prototype), with the
+	// heap sampled during the run so the figures can report GC pressure.
+	runtime.GC()
+	var memBase runtime.MemStats
+	runtime.ReadMemStats(&memBase)
+	sampler := startHeapSampler()
 	bres := (&core.Driver{LG: addrcheck.New(cfg.HeapBase), Parallel: o.Parallel, Shards: o.Shards}).Run(g)
+	heapHigh := sampler.stop()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	var peakHeap uint64
+	if heapHigh > memBase.HeapAlloc {
+		peakHeap = heapHigh - memBase.HeapAlloc
+	}
 
 	// Ground truth via the sequential oracle over the actual interleaving.
 	items, err := interleave.FromGlobal(g, res.Trace)
@@ -224,6 +242,8 @@ func (c *measureCtx) Measure(app apps.App, threads, h int) (*RunMeasurement, err
 		Epochs:           g.NumEpochs(),
 		Events:           g.TotalEvents(),
 		FilterRate:       bperf.FilterRate,
+		PeakHeapBytes:    peakHeap,
+		GCCycles:         memAfter.NumGC - memBase.NumGC,
 	}, nil
 }
 

@@ -15,6 +15,10 @@ type Fig11Row struct {
 	Timesliced float64 // "Timesliced Monitoring"
 	Butterfly  float64 // "Parallel, Monitoring"
 	NoMonitor  float64 // "Parallel, No Monitoring"
+	// Memory discipline of the butterfly run (DESIGN.md §12): sampled
+	// peak live heap above baseline, and GC cycles completed during the run.
+	PeakHeap uint64
+	GCCycles uint32
 }
 
 // Fig11 derives Figure 11 from the large-epoch sweep (the paper used
@@ -28,6 +32,8 @@ func (e *Experiments) Fig11() []Fig11Row {
 			Timesliced: m.Normalized(m.TimeslicedCycles),
 			Butterfly:  m.Normalized(m.ButterflyCycles),
 			NoMonitor:  m.Normalized(m.ParallelCycles),
+			PeakHeap:   m.PeakHeapBytes,
+			GCCycles:   m.GCCycles,
 		})
 	}
 	return rows
@@ -37,9 +43,12 @@ func (e *Experiments) Fig11() []Fig11Row {
 func RenderFig11(rows []Fig11Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 11: relative performance (normalized to sequential, unmonitored; lower is faster)\n")
-	fmt.Fprintf(&b, "%-14s %8s %12s %12s %12s\n", "benchmark", "threads", "timesliced", "butterfly", "no-monitor")
+	fmt.Fprintf(&b, "(peak-heap and gc-cycles are measured on the butterfly analysis run itself; DESIGN.md §12)\n")
+	fmt.Fprintf(&b, "%-14s %8s %12s %12s %12s %10s %9s\n",
+		"benchmark", "threads", "timesliced", "butterfly", "no-monitor", "peak-heap", "gc-cycles")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s %8d %12.2f %12.2f %12.2f\n", r.App, r.Threads, r.Timesliced, r.Butterfly, r.NoMonitor)
+		fmt.Fprintf(&b, "%-14s %8d %12.2f %12.2f %12.2f %10s %9d\n",
+			r.App, r.Threads, r.Timesliced, r.Butterfly, r.NoMonitor, fmtBytes(r.PeakHeap), r.GCCycles)
 	}
 	return b.String()
 }

@@ -368,7 +368,7 @@ func (r *run) readLoop(br *bufio.Reader) {
 			r.mu.Unlock()
 		case proto.FrameReports:
 			var rep proto.Reports
-			if err := json.Unmarshal(payload, &rep); err != nil {
+			if err := proto.DecodeReports(payload, &rep); err != nil {
 				r.setConnErr(fmt.Errorf("client: malformed Reports frame: %w", err))
 				return
 			}

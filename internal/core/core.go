@@ -119,18 +119,47 @@ type WingAggregator interface {
 // exclAggRow folds one epoch row into per-thread exclusive aggregates:
 // out[t] covers row[tt] for every tt ≠ t. A prefix fold and a running
 // suffix fold give every exclusion in O(T) AddWing/MergeWings calls.
-func exclAggRow(wa WingAggregator, row []Summary) []any {
+//
+// out and pre are optional scratch slices, reused when their capacity
+// allows. rec, when non-nil, receives every intermediate fold once the row
+// is built: the WingAggregator contract guarantees MergeWings returns fresh
+// aggregates, so the returned row never aliases the recycled prefixes and
+// suffixes.
+func exclAggRow(wa WingAggregator, row []Summary, out, pre []any, rec WingRecycler) []any {
 	T := len(row)
-	pre := make([]any, T+1)
+	if cap(out) >= T {
+		out = out[:T]
+	} else {
+		out = make([]any, T)
+	}
+	if cap(pre) >= T {
+		pre = pre[:T]
+	} else {
+		pre = make([]any, T)
+	}
 	pre[0] = wa.EmptyWings()
-	for i := 0; i < T; i++ {
+	for i := 0; i+1 < T; i++ {
 		pre[i+1] = wa.AddWing(pre[i], row[i])
 	}
-	out := make([]any, T)
 	suf := wa.EmptyWings()
 	for t := T - 1; t >= 0; t-- {
 		out[t] = wa.MergeWings(pre[t], suf)
-		suf = wa.AddWing(suf, row[t])
+		if t > 0 {
+			old := suf
+			suf = wa.AddWing(suf, row[t])
+			if rec != nil {
+				rec.RecycleWings(old)
+			}
+		}
+	}
+	if rec != nil {
+		rec.RecycleWings(suf)
+		for _, a := range pre {
+			rec.RecycleWings(a)
+		}
+	}
+	for i := range pre {
+		pre[i] = nil
 	}
 	return out
 }
@@ -234,8 +263,22 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		wa = nil
 	}
 	var aggRows [][]any
+	var aggPre []any
 	if wa != nil {
 		aggRows = make([][]any, L)
+		aggPre = make([]any, T)
+	}
+	// Recycling hooks (recycle.go): only without KeepHistory — history
+	// aliases the live summaries and SOS generations.
+	var sumRec SummaryRecycler
+	var stateRec StateRecycler
+	var wingRec WingRecycler
+	if !d.KeepHistory {
+		sumRec, _ = d.LG.(SummaryRecycler)
+		stateRec, _ = d.LG.(StateRecycler)
+		if wa != nil {
+			wingRec, _ = d.LG.(WingRecycler)
+		}
 	}
 	sos := make([]State, L+2)
 	sos[0] = d.bottomState(sh)
@@ -272,7 +315,7 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		d.forEachThread(T, run)
 		sums[l] = out
 		if wa != nil {
-			aggRows[l] = exclAggRow(wa, out)
+			aggRows[l] = exclAggRow(wa, out, nil, aggPre, wingRec)
 			m.wingFolded(T)
 		}
 		for t := 0; t < T; t++ {
@@ -341,11 +384,30 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 		if l >= 4 {
 			// Epoch l−4 can no longer be referenced by any pass or update.
 			if !d.KeepHistory {
+				if sumRec != nil {
+					for _, s := range sums[l-4] {
+						if s != nil {
+							sumRec.RecycleSummary(s)
+						}
+					}
+				}
 				sums[l-4] = nil
 			}
 			if wa != nil {
+				if wingRec != nil {
+					for _, a := range aggRows[l-4] {
+						if a != nil {
+							wingRec.RecycleWings(a)
+						}
+					}
+				}
 				aggRows[l-4] = nil
 			}
+		}
+		if stateRec != nil && l >= 2 {
+			// SOS_{l−2} was last read by the previous iteration's passes.
+			stateRec.RecycleState(sos[l-2])
+			sos[l-2] = nil
 		}
 	}
 	secondPass(L - 1)
@@ -356,6 +418,35 @@ func (d *Driver) Run(g *epoch.Grid) *Result {
 			sos[l] = d.updateSOS(sh, sos[l-1], sumAt(l-3), sumAt(l-2))
 			m.stageDone(stageSOSUpdate, l, tidDriver, start)
 			m.sosUpdated(sos[l])
+		}
+	}
+	// All SOS generations before the merged final one are dead now; sos[L+1]
+	// itself is NOT recycled — mergeSOS may retain it as the FinalSOS. The
+	// window's remaining summary rows and wing folds are dead too.
+	if stateRec != nil {
+		for l := L - 2; l <= L; l++ {
+			if l >= 0 && sos[l] != nil {
+				stateRec.RecycleState(sos[l])
+				sos[l] = nil
+			}
+		}
+	}
+	for l := max(0, L-4); l < L; l++ {
+		if sumRec != nil {
+			for _, s := range sums[l] {
+				if s != nil {
+					sumRec.RecycleSummary(s)
+				}
+			}
+			sums[l] = nil
+		}
+		if wingRec != nil {
+			for _, a := range aggRows[l] {
+				if a != nil {
+					wingRec.RecycleWings(a)
+				}
+			}
+			aggRows[l] = nil
 		}
 	}
 	// FinalSOS is always the canonical unsharded representation so results

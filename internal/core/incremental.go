@@ -68,6 +68,21 @@ func (d *Driver) newIncremental(T int, trim bool) (*Incremental, error) {
 		// Sharded runs fold wings inside each per-shard task (see Run).
 		st.wa, _ = d.LG.(WingAggregator)
 	}
+	st.fReports = make([][]Report, T)
+	st.sReports = make([][]Report, T)
+	st.wingScratch = make([][]Summary, T)
+	if st.wa != nil {
+		st.aggScratch = make([]any, T)
+	}
+	if !d.KeepHistory {
+		// With history on, the Result aliases the live summaries and SOS
+		// generations, so nothing may be recycled (recycle.go).
+		st.sumRec, _ = d.LG.(SummaryRecycler)
+		st.stateRec, _ = d.LG.(StateRecycler)
+		if st.wa != nil {
+			st.wingRec, _ = d.LG.(WingRecycler)
+		}
+	}
 	st.sosCur = d.bottomState(st.sh) // SOS₀
 	if d.Parallel && T > 1 {
 		st.pipe = newStreamPipeline(d.LG, T)
@@ -92,6 +107,17 @@ func (inc *Incremental) NextEpoch() int { return inc.st.l }
 
 // pipelined reports whether per-thread pipeline workers are running.
 func (inc *Incremental) pipelined() bool { return inc.st.pipe != nil }
+
+// SetRowRecycler registers a callback that receives each fed epoch row once
+// the sliding window no longer references it: epoch l's row is released
+// during the feed of epoch l+1 (or at Finish), after its second pass has
+// consumed it. The caller may then return the blocks and their event storage
+// to a pool. The most recently fed row is the session's checkpoint — it is
+// held across a detach/resume and never released before the next feed — so
+// resumable sessions stay valid.
+func (inc *Incremental) SetRowRecycler(f func([]*epoch.Block)) {
+	inc.st.recycleRow = f
+}
 
 // FeedEpoch advances the analysis by one epoch tick — first-pass(l),
 // second-pass(l−1), SOS update — and returns the reports that tick

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"strconv"
 	"time"
 
@@ -67,7 +68,18 @@ type driverMetrics struct {
 	sosSize, sosPeak             *obs.Gauge
 	shards                       *obs.Gauge
 	shardInflight, shardPeak     *obs.Gauge
+	gcPause, gcCycles            *obs.Gauge
+	allocsPerEpoch               *obs.Gauge
+
+	// GC sampling state, touched only by the single goroutine that calls
+	// epochDone (the batch loop or the stream collector).
+	gcCountdown   int
+	gcLastMallocs uint64
 }
+
+// gcSampleEvery is the epoch interval between runtime.ReadMemStats samples.
+// ReadMemStats stops the world briefly; once per 64 epochs is noise.
+const gcSampleEvery = 64
 
 // metrics builds the handle cache for a run over T threads, or returns nil
 // when the driver is uninstrumented. obs handles are nil-safe, so a
@@ -100,6 +112,10 @@ func (d *Driver) metrics(T int) *driverMetrics {
 		shards:         reg.Gauge(obs.MetricShards),
 		shardInflight:  reg.Gauge(obs.MetricShardInflight),
 		shardPeak:      reg.Gauge(obs.MetricShardInflightPeak),
+		gcPause:        reg.Gauge(obs.MetricGCPauseNs),
+		gcCycles:       reg.Gauge(obs.MetricGCCycles),
+		allocsPerEpoch: reg.Gauge(obs.MetricAllocsPerEpoch),
+		gcCountdown:    1,
 	}
 	m.stages[stageFirstPass] = reg.Histogram(obs.MetricFirstPassNs)
 	m.stages[stageSecondPass] = reg.Histogram(obs.MetricSecondPassNs)
@@ -149,7 +165,8 @@ func (m *driverMetrics) barrierDone(start time.Time) {
 	m.barrierWait.Observe(time.Since(start))
 }
 
-// epochDone advances the run counters after an epoch is fully analyzed.
+// epochDone advances the run counters after an epoch is fully analyzed and
+// periodically samples the runtime's GC statistics.
 func (m *driverMetrics) epochDone(events, T int) {
 	if m == nil {
 		return
@@ -157,6 +174,26 @@ func (m *driverMetrics) epochDone(events, T int) {
 	m.epochs.Inc()
 	m.events.Add(int64(events))
 	m.blocks.Add(int64(T))
+	if m.reg != nil {
+		if m.gcCountdown--; m.gcCountdown <= 0 {
+			m.sampleGC()
+			m.gcCountdown = gcSampleEvery
+		}
+	}
+}
+
+// sampleGC publishes GC pressure gauges: cumulative pause and cycle count
+// straight from MemStats, and the recent per-epoch allocation rate from the
+// Mallocs delta since the previous sample.
+func (m *driverMetrics) sampleGC() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.gcPause.Set(int64(ms.PauseTotalNs))
+	m.gcCycles.Set(int64(ms.NumGC))
+	if m.gcLastMallocs != 0 {
+		m.allocsPerEpoch.Set(int64((ms.Mallocs - m.gcLastMallocs) / gcSampleEvery))
+	}
+	m.gcLastMallocs = ms.Mallocs
 }
 
 // sosUpdated records the post-update SOS cardinality when the lifeguard

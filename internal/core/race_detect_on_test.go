@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// Allocation-count gates skip under the detector: its shadow-memory
+// bookkeeping allocates on paths that are allocation-free in normal builds.
+const raceDetectorEnabled = true

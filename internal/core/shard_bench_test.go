@@ -49,7 +49,8 @@ func shardBenchGrid(tb testing.TB) *epoch.Grid {
 
 // BenchmarkShardedThroughput is the shards ablation: the same grid through
 // the parallel batch driver at increasing shard counts. Reported in
-// EXPERIMENTS.md; the acceptance bar is ≥1.5× events/s at 8 shards.
+// EXPERIMENTS.md ("Address sharding" for the shard-count shape,
+// "Allocation ablation" for pooled-vs-unpooled at each count).
 func BenchmarkShardedThroughput(b *testing.B) {
 	g := shardBenchGrid(b)
 	for _, shards := range []int{1, 2, 4, 8} {

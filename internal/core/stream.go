@@ -43,6 +43,16 @@ type BlockSource interface {
 	NextEpoch() ([]*epoch.Block, error)
 }
 
+// RowRecyclingSource is a BlockSource that owns the rows it yields and can
+// reuse their storage: RunStream registers RecycleRow as the driver's row
+// recycler, handing each row back once the sliding window releases it.
+// Sources whose rows are shared with the caller (epoch.GridRows) must not
+// implement it.
+type RowRecyclingSource interface {
+	BlockSource
+	RecycleRow(row []*epoch.Block)
+}
+
 // streamWindow is the number of summary rows retained: epochs l−3..l are
 // all the passes and updates of tick l can reference.
 const streamWindow = 4
@@ -77,6 +87,9 @@ func (d *Driver) RunStream(src BlockSource) (*Result, error) {
 		return nil, err
 	}
 	defer inc.Close()
+	if rs, ok := src.(RowRecyclingSource); ok {
+		inc.SetRowRecycler(rs.RecycleRow)
+	}
 
 	next, stop := startPrefetch(src, inc.pipelined(), inc.st.m, T)
 	defer stop()
@@ -214,6 +227,66 @@ type streamState struct {
 	prevBlocks []*epoch.Block
 	// l is the epoch the next tick will first-pass.
 	l int
+
+	// Persistent tick scratch, reused every epoch so the steady-state loop
+	// allocates nothing (DESIGN.md §12): the tickWork itself, the per-pass
+	// report tables, each thread's wing-slice backing, and the exclusive-fold
+	// prefix scratch.
+	work        tickWork
+	fReports    [][]Report
+	sReports    [][]Report
+	wingScratch [][]Summary
+	aggScratch  []any
+
+	// Recycling hooks (recycle.go). sumRec/stateRec/wingRec are set from the
+	// lifeguard only when KeepHistory is off — history aliases the live
+	// values. recycleRow is the caller's block-row hook
+	// (Incremental.SetRowRecycler).
+	sumRec     SummaryRecycler
+	stateRec   StateRecycler
+	wingRec    WingRecycler
+	recycleRow func([]*epoch.Block)
+}
+
+// takeSlot prepares epoch l's summary window slot: the slot still holds
+// epoch l−4's row, which no pass or update can reference anymore, so its
+// summaries are recycled and the row backing is reused as the new first-pass
+// output. With KeepHistory the old row is retained by the Result and a fresh
+// slice is returned instead.
+func (st *streamState) takeSlot(l int) []Summary {
+	old := st.sums[l%streamWindow]
+	st.sums[l%streamWindow] = nil
+	if old == nil || st.d.KeepHistory {
+		return make([]Summary, st.T)
+	}
+	for i, s := range old {
+		if st.sumRec != nil && s != nil {
+			st.sumRec.RecycleSummary(s)
+		}
+		old[i] = nil
+	}
+	return old
+}
+
+// takeAggSlot is takeSlot for the exclusive wing-aggregate ring. Aggregates
+// never alias summaries or history, so the backing is always reusable; the
+// retired folds are handed to the lifeguard's WingRecycler when it has one.
+func (st *streamState) takeAggSlot(l int) []any {
+	if st.wa == nil {
+		return nil
+	}
+	old := st.aggs[l%streamWindow]
+	st.aggs[l%streamWindow] = nil
+	if old == nil {
+		return nil
+	}
+	for i, a := range old {
+		if st.wingRec != nil && a != nil {
+			st.wingRec.RecycleWings(a)
+		}
+		old[i] = nil
+	}
+	return old
 }
 
 // checkRow validates a source row against the grid invariants the passes
@@ -259,16 +332,23 @@ func (st *streamState) tick(row []*epoch.Block) {
 		rowEvents += b.Len()
 	}
 	st.res.Events += rowEvents
-	w := &tickWork{
-		runF:    true,
-		runS:    l >= 1,
-		wa:      st.wa,
-		m:       st.m,
-		epoch:   l,
-		fBlocks: row,
-		fOut:    make([]Summary, st.T),
-		fctx:    PassContext{SOS: st.sosCur, Epoch1Back: st.rowSums(l - 1), Epoch2Back: st.rowSums(l - 2), Sharding: st.sh},
+	// Reassigning the persistent tickWork wholesale zeroes every field the
+	// tick does not set, so nothing stale leaks between epochs.
+	st.work = tickWork{
+		runF:        true,
+		runS:        l >= 1,
+		wa:          st.wa,
+		m:           st.m,
+		epoch:       l,
+		fBlocks:     row,
+		fOut:        st.takeSlot(l),
+		fAgg:        st.takeAggSlot(l),
+		fctx:        PassContext{SOS: st.sosCur, Epoch1Back: st.rowSums(l - 1), Epoch2Back: st.rowSums(l - 2), Sharding: st.sh},
+		wingScratch: st.wingScratch,
+		aggScratch:  st.aggScratch,
+		wingRec:     st.wingRec,
 	}
+	w := &st.work
 	if w.runS {
 		w.sBlocks = st.prevBlocks
 		w.sctx = PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(l - 2), Epoch2Back: st.rowSums(l - 3), Sharding: st.sh}
@@ -313,9 +393,20 @@ func (st *streamState) tick(row []*epoch.Block) {
 		st.res.Summaries = append(st.res.Summaries, w.fOut)
 		st.res.SOSHistory = append(st.res.SOSHistory, sosNext)
 	}
+	// The window has slid past SOS_{l−1} and epoch l−1's blocks: SOS_{l−1}
+	// was this tick's second-pass state and epoch l−1's row its second-pass
+	// input, and neither is reachable from any later pass or update.
+	oldSOS := st.sosPrev
+	oldRow := st.prevBlocks
 	st.sosPrev, st.sosCur = st.sosCur, sosNext
 	st.prevBlocks = row
 	st.l++
+	if st.stateRec != nil && oldSOS != nil {
+		st.stateRec.RecycleState(oldSOS)
+	}
+	if st.recycleRow != nil && oldRow != nil {
+		st.recycleRow(oldRow)
+	}
 }
 
 // finish runs the trailing second pass and SOS updates once the source is
@@ -327,7 +418,7 @@ func (st *streamState) finish() {
 		st.res.FinalSOS = d.LG.BottomState()
 		return
 	}
-	w := &tickWork{
+	st.work = tickWork{
 		runS:    true,
 		wa:      st.wa,
 		m:       st.m,
@@ -335,11 +426,17 @@ func (st *streamState) finish() {
 		sBlocks: st.prevBlocks,
 		sctx:    PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(L - 2), Epoch2Back: st.rowSums(L - 3), Sharding: st.sh},
 		// Epoch L does not exist; the tail wing is clipped.
-		wingRows: [3][]Summary{st.rowSums(L - 2), st.rowSums(L - 1), nil},
-		sAggs:    [3][]any{st.rowAggs(L - 2), st.rowAggs(L - 1), nil},
+		wingRows:    [3][]Summary{st.rowSums(L - 2), st.rowSums(L - 1), nil},
+		sAggs:       [3][]any{st.rowAggs(L - 2), st.rowAggs(L - 1), nil},
+		wingScratch: st.wingScratch,
 	}
+	w := &st.work
 	st.exec(w)
 	st.collect(w)
+	if st.recycleRow != nil && st.prevBlocks != nil {
+		st.recycleRow(st.prevBlocks)
+		st.prevBlocks = nil
+	}
 	start := st.m.now()
 	final := d.updateSOS(st.sh, st.sosCur, st.rowSums(L-2), st.rowSums(L-1))
 	st.m.stageDone(stageSOSUpdate, L+1, tidDriver, start)
@@ -347,19 +444,50 @@ func (st *streamState) finish() {
 	if d.KeepHistory {
 		st.res.SOSHistory = append(st.res.SOSHistory, final)
 	}
+	// SOS_{L−1} and SOS_L are dead now that the trailing update ran; final is
+	// NOT recycled — mergeSOS may retain its input as the FinalSOS.
+	if st.stateRec != nil {
+		if st.sosPrev != nil {
+			st.stateRec.RecycleState(st.sosPrev)
+		}
+		if st.sosCur != nil {
+			st.stateRec.RecycleState(st.sosCur)
+		}
+		st.sosPrev, st.sosCur = nil, nil
+	}
 	// As in Run, FinalSOS is always the canonical unsharded representation.
 	st.res.FinalSOS = d.mergeSOS(st.sh, final)
+	// The retained window is dead too: hand the last summary rows and wing
+	// folds back so a finished session leaves its storage in the pools.
+	for k := range st.sums {
+		if st.sumRec != nil {
+			for i, s := range st.sums[k] {
+				if s != nil {
+					st.sumRec.RecycleSummary(s)
+					st.sums[k][i] = nil
+				}
+			}
+		}
+		if st.wingRec != nil {
+			for i, a := range st.aggs[k] {
+				if a != nil {
+					st.wingRec.RecycleWings(a)
+					st.aggs[k][i] = nil
+				}
+			}
+		}
+	}
 }
 
 // exec runs one tick's passes, pipelined when workers exist.
 func (st *streamState) exec(w *tickWork) {
 	if w.runF {
-		w.fReports = make([][]Report, st.T)
+		w.fReports = st.fReports
 	}
 	if w.runS {
 		// The second pass targets epoch st.l−1 both mid-run and in finish().
 		w.sOwn = st.rowSums(st.l - 1)
-		w.sReports = make([][]Report, st.T)
+		w.sReports = st.sReports
 	}
 	if st.pipe != nil {
 		st.pipe.run(w)
@@ -418,6 +546,13 @@ type tickWork struct {
 	wingRows [3][]Summary // epochs l−2, l−1, l (l's row is fOut, final after the barrier)
 	sAggs    [3][]any     // exclusive aggregates for the same rows
 	sReports [][]Report
+
+	// Reused scratch (owned by streamState; nil in batch-free contexts).
+	// wingScratch[t] is thread t's wing-slice backing — workers touch only
+	// their own index. aggScratch and wingRec feed foldAggs.
+	wingScratch [][]Summary
+	aggScratch  []any
+	wingRec     WingRecycler
 }
 
 // foldAggs folds the freshly first-passed row into exclusive aggregates.
@@ -428,7 +563,7 @@ func (w *tickWork) foldAggs() {
 	if w.wa == nil || !w.runF {
 		return
 	}
-	w.fAgg = exclAggRow(w.wa, w.fOut)
+	w.fAgg = exclAggRow(w.wa, w.fOut, w.fAgg, w.aggScratch, w.wingRec)
 	w.m.wingFolded(len(w.fOut))
 	if w.runS {
 		w.sAggs[2] = w.fAgg
@@ -457,6 +592,9 @@ func (w *tickWork) secondPass(lg Lifeguard, t int) {
 		}
 	}
 	var wings []Summary
+	if w.wingScratch != nil {
+		wings = w.wingScratch[t][:0]
+	}
 	for _, rowS := range w.wingRows {
 		if rowS == nil {
 			continue
@@ -466,6 +604,9 @@ func (w *tickWork) secondPass(lg Lifeguard, t int) {
 				wings = append(wings, s)
 			}
 		}
+	}
+	if w.wingScratch != nil {
+		w.wingScratch[t] = wings
 	}
 	w.sReports[t] = lg.SecondPass(w.sBlocks[t], c, wings)
 }

@@ -1,0 +1,69 @@
+package epoch
+
+import (
+	"sync"
+
+	"butterfly/internal/trace"
+)
+
+// RowPool recycles whole epoch rows — the []*Block backing, the Block
+// structs, and each block's event storage — so a steady-state consumer
+// (the butterflyd server, StreamRows) rebuilds rows without allocating.
+//
+// Ownership contract: Put may only be called on rows the caller is the sole
+// referent of. The streaming driver releases a fed row via
+// core.Incremental.SetRowRecycler once its second pass has consumed it;
+// until then (and across a session detach/resume, where the last row is the
+// checkpoint) the row must not be reused. Under the race detector, Put
+// poisons the retired events so a use-after-recycle reads garbage loudly
+// instead of stale-but-plausible data.
+type RowPool struct {
+	mu   sync.Mutex
+	free [][]*Block
+}
+
+// poisonEvent is what recycled event storage is filled with in race-enabled
+// builds: an invalid kind and an address no real trace uses.
+var poisonEvent = trace.Event{Kind: trace.Kind(0xFF), Addr: 0xdead_dead_dead_dead}
+
+// Get returns a row of nthreads blocks with zero-length events, reusing
+// recycled storage when available.
+func (p *RowPool) Get(nthreads int) []*Block {
+	p.mu.Lock()
+	for n := len(p.free); n > 0; n = len(p.free) {
+		row := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		if len(row) == nthreads {
+			p.mu.Unlock()
+			return row
+		}
+	}
+	p.mu.Unlock()
+	row := make([]*Block, nthreads)
+	for t := range row {
+		row[t] = &Block{}
+	}
+	return row
+}
+
+// Put recycles a row obtained from Get (rows of other provenance are
+// accepted too, as long as the caller owns them outright).
+func (p *RowPool) Put(row []*Block) {
+	for _, b := range row {
+		if b == nil {
+			return // not a fully-built row; drop it rather than pool nils
+		}
+		if raceEnabled {
+			ev := b.Events[:cap(b.Events)]
+			for i := range ev {
+				ev[i] = poisonEvent
+			}
+		}
+		b.Epoch, b.Thread, b.Start = 0, 0, 0
+		b.Events = b.Events[:0]
+	}
+	p.mu.Lock()
+	p.free = append(p.free, row)
+	p.mu.Unlock()
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package epoch
+
+// raceEnabled gates poison-on-release debugging; see race_on.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package epoch
+
+// raceEnabled gates poison-on-release debugging: under the race detector,
+// recycled rows have their event storage overwritten so stale reads are
+// loud. See RowPool.Put.
+const raceEnabled = true

@@ -37,29 +37,50 @@ func (rb *RowBuilder) NextEpoch() int { return rb.epoch }
 func (rb *RowBuilder) Row(row [][]trace.Event) []*Block {
 	blocks := make([]*Block, len(row))
 	for t, evs := range row {
-		blocks[t] = &Block{
-			Epoch:  rb.epoch,
-			Thread: trace.ThreadID(t),
-			Start:  rb.starts[t],
-			Events: evs,
-		}
-		rb.starts[t] += len(evs)
+		blocks[t] = &Block{Events: evs}
+	}
+	rb.Stamp(blocks)
+	return blocks
+}
+
+// Stamp labels blocks — already carrying their events — as the next epoch
+// row and advances the counters. It is Row without the block allocation:
+// pooled consumers decode events straight into a RowPool row's backings and
+// stamp it in place.
+func (rb *RowBuilder) Stamp(blocks []*Block) {
+	for t, b := range blocks {
+		b.Epoch = rb.epoch
+		b.Thread = trace.ThreadID(t)
+		b.Start = rb.starts[t]
+		rb.starts[t] += len(b.Events)
 	}
 	rb.epoch++
-	return blocks
 }
 
 // StreamRows turns an incremental stream decoder into successive epoch rows
 // of blocks. Start offsets count each thread's streamed events, so reports
 // can point back at stream positions.
+//
+// StreamRows owns the rows it builds and recycles them through a RowPool:
+// a driver that registers RecycleRow (core.RunStream does, via
+// Incremental.SetRowRecycler) hands each row back once the sliding window
+// releases it, and the next decode reuses its blocks and event storage.
+// Callers that retain rows simply never recycle them — pooling is then
+// inert and every row is freshly allocated.
 type StreamRows struct {
-	sr *trace.StreamReader
-	rb *RowBuilder
+	sr    *trace.StreamReader
+	rb    *RowBuilder
+	pool  RowPool
+	evRow [][]trace.Event
 }
 
 // NewStreamRows returns a row source over sr.
 func NewStreamRows(sr *trace.StreamReader) *StreamRows {
-	return &StreamRows{sr: sr, rb: NewRowBuilder(sr.NumThreads())}
+	return &StreamRows{
+		sr:    sr,
+		rb:    NewRowBuilder(sr.NumThreads()),
+		evRow: make([][]trace.Event, sr.NumThreads()),
+	}
 }
 
 // NumThreads returns the stream's thread count.
@@ -68,12 +89,25 @@ func (s *StreamRows) NumThreads() int { return s.sr.NumThreads() }
 // NextEpoch decodes the next epoch frame into a row of blocks. It returns
 // io.EOF after the stream's end frame.
 func (s *StreamRows) NextEpoch() ([]*Block, error) {
-	row, err := s.sr.NextEpoch()
+	blocks := s.pool.Get(s.sr.NumThreads())
+	for t, b := range blocks {
+		s.evRow[t] = b.Events[:0]
+	}
+	row, err := s.sr.NextEpochInto(s.evRow)
 	if err != nil {
+		s.pool.Put(blocks)
 		return nil, err
 	}
-	return s.rb.Row(row), nil
+	for t, b := range blocks {
+		b.Events = row[t]
+	}
+	s.rb.Stamp(blocks)
+	return blocks, nil
 }
+
+// RecycleRow returns a row obtained from NextEpoch to the pool once the
+// caller no longer references it (core.RowRecyclingSource).
+func (s *StreamRows) RecycleRow(row []*Block) { s.pool.Put(row) }
 
 // GridRows replays an already-materialized grid row by row. It exists for
 // tests, benchmarks and differential comparisons between the batch and

@@ -107,21 +107,26 @@ func sum(s core.Summary) *Summary {
 // lsos computes LSOS_{l,t} (the reaching-expressions form, §5.2.1, over
 // intervals): head allocations survive unless another thread freed those
 // bytes in epoch l−2; SOS bytes survive unless the head freed them.
+// The returned set is pooled; callers release it with sets.PutSet.
 func (a *Butterfly) lsos(t trace.ThreadID, ctx core.PassContext) *sets.IntervalSet {
 	sos := ctx.SOS.(*sets.IntervalSet)
 	head := sum(ctx.Head)
+	out := sets.GetSet()
+	out.CopyFrom(sos)
 	if head == nil {
-		return sos.Clone()
+		return out
 	}
-	fromHead := head.Gen.Clone()
+	fromHead := sets.GetSet()
+	fromHead.CopyFrom(head.Gen)
 	for tt, s2 := range ctx.Epoch2Back {
 		if trace.ThreadID(tt) == t || s2 == nil {
 			continue
 		}
-		fromHead = fromHead.Subtract(sum(s2).Kill)
+		fromHead.SubtractInPlace(sum(s2).Kill)
 	}
-	out := sos.Subtract(head.Kill)
+	out.SubtractInPlace(head.Kill)
 	out.UnionInPlace(fromHead)
+	sets.PutSet(fromHead)
 	return out
 }
 
@@ -132,14 +137,9 @@ func (a *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 	if ctx.Sharding != nil {
 		return a.firstPassSharded(b, ctx, ctx.Sharding)
 	}
-	s := &Summary{
-		Gen:     sets.NewIntervalSet(),
-		Kill:    sets.NewIntervalSet(),
-		GenAny:  sets.NewIntervalSet(),
-		KillAny: sets.NewIntervalSet(),
-		Access:  sets.NewIntervalSet(),
-	}
+	s := getSummary()
 	lsos := a.lsos(b.Thread, ctx)
+	defer sets.PutSet(lsos)
 	var reports []core.Report
 	flag := func(i int, code, detail string) {
 		reports = append(reports, core.Report{Ref: b.Ref(i), Ev: b.Events[i], Code: code, Detail: detail})
@@ -184,15 +184,20 @@ type wingAgg struct {
 
 var _ core.WingAggregator = (*Butterfly)(nil)
 
-// EmptyWings implements core.WingAggregator.
+// EmptyWings implements core.WingAggregator. The identity fold comes from
+// the wing pool like every other fold: the driver hands it back through
+// RecycleWings with the rest of the aggregate row.
 func (a *Butterfly) EmptyWings() any {
-	return &wingAgg{changes: sets.NewIntervalSet(), access: sets.NewIntervalSet()}
+	return getWingAgg()
 }
 
-// AddWing implements core.WingAggregator.
+// AddWing implements core.WingAggregator. The result comes from the wing
+// pool; the driver hands dead folds back through RecycleWings.
 func (a *Butterfly) AddWing(agg any, s core.Summary) any {
 	w, ss := agg.(*wingAgg), sum(s)
-	out := &wingAgg{changes: w.changes.Clone(), access: w.access.Clone()}
+	out := getWingAgg()
+	out.changes.CopyFrom(w.changes)
+	out.access.CopyFrom(w.access)
 	out.changes.UnionInPlace(ss.GenAny)
 	out.changes.UnionInPlace(ss.KillAny)
 	out.access.UnionInPlace(ss.Access)
@@ -202,7 +207,9 @@ func (a *Butterfly) AddWing(agg any, s core.Summary) any {
 // MergeWings implements core.WingAggregator.
 func (a *Butterfly) MergeWings(x, y any) any {
 	wx, wy := x.(*wingAgg), y.(*wingAgg)
-	out := &wingAgg{changes: wx.changes.Clone(), access: wx.access.Clone()}
+	out := getWingAgg()
+	out.changes.CopyFrom(wx.changes)
+	out.access.CopyFrom(wx.access)
 	out.changes.UnionInPlace(wy.changes)
 	out.access.UnionInPlace(wy.access)
 	return out
@@ -227,6 +234,7 @@ func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 	// directly and no per-body union is materialized at all.
 	var aggs [3]*wingAgg
 	nagg, live := 0, false
+	var tmp *wingAgg
 	if ctx.WingAggs[1] != nil {
 		for _, agg := range ctx.WingAggs {
 			if agg == nil {
@@ -238,15 +246,16 @@ func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 			live = live || !w.changes.Empty() || !w.access.Empty()
 		}
 	} else {
-		w := &wingAgg{changes: sets.NewIntervalSet(), access: sets.NewIntervalSet()}
+		tmp = getWingAgg()
+		defer putWingAgg(tmp)
 		for _, ws := range wings {
 			s := sum(ws)
-			w.changes.UnionInPlace(s.GenAny)
-			w.changes.UnionInPlace(s.KillAny)
-			w.access.UnionInPlace(s.Access)
+			tmp.changes.UnionInPlace(s.GenAny)
+			tmp.changes.UnionInPlace(s.KillAny)
+			tmp.access.UnionInPlace(s.Access)
 		}
-		aggs[0], nagg = w, 1
-		live = !w.changes.Empty() || !w.access.Empty()
+		aggs[0], nagg = tmp, 1
+		live = !tmp.changes.Empty() || !tmp.access.Empty()
 	}
 	if !live {
 		return nil
@@ -306,20 +315,28 @@ func (a *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 func (a *Butterfly) UpdateSOS(prev core.State, prevEpoch, curEpoch []core.Summary) core.State {
 	sos := prev.(*sets.IntervalSet)
 	gen, kill := a.epochGenKill(prevEpoch, curEpoch)
-	out := sos.Subtract(kill)
+	out := sets.GetSet()
+	out.CopyFrom(sos)
+	out.SubtractInPlace(kill)
 	out.UnionInPlace(gen)
+	sets.PutSet(gen)
+	sets.PutSet(kill)
 	return out
 }
 
 func (a *Butterfly) epochGenKill(prevEpoch, curEpoch []core.Summary) (gen, kill *sets.IntervalSet) {
-	kill = sets.NewIntervalSet()
+	kill = sets.GetSet()
 	for _, s := range curEpoch {
 		kill.UnionInPlace(sum(s).Kill)
 	}
-	gen = sets.NewIntervalSet()
+	gen = sets.GetSet()
+	g := sets.GetSet()
+	killedSpan := sets.GetSet()
+	gennedSpan := sets.GetSet()
+	scratch := sets.GetSet()
 	T := len(curEpoch)
 	for t := 0; t < T; t++ {
-		g := sum(curEpoch[t]).Gen.Clone()
+		g.CopyFrom(sum(curEpoch[t]).Gen)
 		for tt := 0; tt < T; tt++ {
 			if tt == t || g.Empty() {
 				continue
@@ -329,15 +346,22 @@ func (a *Butterfly) epochGenKill(prevEpoch, curEpoch []core.Summary) (gen, kill 
 			if prevEpoch != nil {
 				prev = sum(prevEpoch[tt])
 			}
-			killedSpan := cur.Kill.Clone()
-			gennedSpan := cur.Gen.Clone()
+			killedSpan.CopyFrom(cur.Kill)
+			gennedSpan.CopyFrom(cur.Gen)
 			if prev != nil {
 				killedSpan.UnionInPlace(prev.Kill)
-				gennedSpan.UnionInPlace(prev.Gen.Subtract(cur.Kill))
+				scratch.CopyFrom(prev.Gen)
+				scratch.SubtractInPlace(cur.Kill)
+				gennedSpan.UnionInPlace(scratch)
 			}
-			g = g.Subtract(killedSpan.Subtract(gennedSpan))
+			killedSpan.SubtractInPlace(gennedSpan)
+			g.SubtractInPlace(killedSpan)
 		}
 		gen.UnionInPlace(g)
 	}
+	sets.PutSet(g)
+	sets.PutSet(killedSpan)
+	sets.PutSet(gennedSpan)
+	sets.PutSet(scratch)
 	return gen, kill
 }

@@ -1,0 +1,98 @@
+package addrcheck
+
+import (
+	"sync"
+
+	"butterfly/internal/core"
+	"butterfly/internal/sets"
+)
+
+// Pooled per-block state (DESIGN.md §12). Every block summary and wing
+// aggregate is built from recycled storage and handed back by the driver
+// through the core.SummaryRecycler/StateRecycler/WingRecycler hooks when it
+// leaves the butterfly window, so the steady-state epoch loop allocates
+// nothing. Pooled summaries keep their interval sets attached across
+// recycling — a released summary is reset to canonical empty form, making it
+// indistinguishable from a freshly constructed one.
+
+var summaryPool sync.Pool
+
+func getSummary() *Summary {
+	if s, _ := summaryPool.Get().(*Summary); s != nil {
+		return s
+	}
+	return &Summary{
+		Gen:     sets.GetSet(),
+		Kill:    sets.GetSet(),
+		GenAny:  sets.GetSet(),
+		KillAny: sets.GetSet(),
+		Access:  sets.GetSet(),
+	}
+}
+
+func putSummary(s *Summary) {
+	if s == nil {
+		return
+	}
+	s.Gen.Reset()
+	s.Kill.Reset()
+	s.GenAny.Reset()
+	s.KillAny.Reset()
+	s.Access.Reset()
+	summaryPool.Put(s)
+}
+
+var wingPool sync.Pool
+
+func getWingAgg() *wingAgg {
+	if w, _ := wingPool.Get().(*wingAgg); w != nil {
+		return w
+	}
+	return &wingAgg{changes: sets.GetSet(), access: sets.GetSet()}
+}
+
+func putWingAgg(w *wingAgg) {
+	if w == nil {
+		return
+	}
+	w.changes.Reset()
+	w.access.Reset()
+	wingPool.Put(w)
+}
+
+var (
+	_ core.SummaryRecycler = (*Butterfly)(nil)
+	_ core.StateRecycler   = (*Butterfly)(nil)
+	_ core.WingRecycler    = (*Butterfly)(nil)
+)
+
+// RecycleSummary implements core.SummaryRecycler.
+func (a *Butterfly) RecycleSummary(s core.Summary) {
+	switch v := s.(type) {
+	case *Summary:
+		putSummary(v)
+	case *shardedSummary:
+		for _, p := range v.pieces {
+			putSummary(p)
+		}
+	}
+}
+
+// RecycleState implements core.StateRecycler.
+func (a *Butterfly) RecycleState(s core.State) {
+	switch v := s.(type) {
+	case *sets.IntervalSet:
+		sets.PutSet(v)
+	case sets.ShardedIntervals:
+		for _, p := range v {
+			sets.PutSet(p)
+		}
+	}
+}
+
+// RecycleWings implements core.WingRecycler.
+func (a *Butterfly) RecycleWings(agg any) {
+	if w, ok := agg.(*wingAgg); ok {
+		putWingAgg(w)
+	}
+}

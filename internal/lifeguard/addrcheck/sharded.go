@@ -82,14 +82,9 @@ func (a *Butterfly) firstPassSharded(b *epoch.Block, ctx core.PassContext, sh *c
 	ss := &shardedSummary{pieces: make([]*Summary, K)}
 	bads := make([][]bool, K)
 	sh.Do(func(k int) {
-		s := &Summary{
-			Gen:     sets.NewIntervalSet(),
-			Kill:    sets.NewIntervalSet(),
-			GenAny:  sets.NewIntervalSet(),
-			KillAny: sets.NewIntervalSet(),
-			Access:  sets.NewIntervalSet(),
-		}
+		s := getSummary()
 		lsos := a.lsos(b.Thread, pieceCtx(ctx, k))
+		defer sets.PutSet(lsos)
 		var bad []bool
 		setBad := func(i int) {
 			if bad == nil {
@@ -179,8 +174,10 @@ func (a *Butterfly) secondPassSharded(b *epoch.Block, wings []core.Summary, sh *
 	K := sh.K()
 	bads := make([][]bool, K)
 	sh.Do(func(k int) {
-		changes := sets.NewIntervalSet()
-		access := sets.NewIntervalSet()
+		changes := sets.GetSet()
+		access := sets.GetSet()
+		defer sets.PutSet(changes)
+		defer sets.PutSet(access)
 		for _, ws := range wings {
 			p := ws.(*shardedSummary).pieces[k]
 			changes.UnionInPlace(p.GenAny)

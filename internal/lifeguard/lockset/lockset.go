@@ -131,13 +131,14 @@ func (l *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 	if ctx.Sharding != nil {
 		return l.firstPassSharded(b, ctx, ctx.Sharding)
 	}
-	s := &Summary{thread: b.Thread, perLoc: map[uint64]*locInfo{}}
+	s := getSummary()
+	s.thread = b.Thread
+	s.entryHeld = sets.GetMap()
 	if head := sum(ctx.Head); head != nil {
-		s.entryHeld = head.exitHeld.Clone()
-	} else {
-		s.entryHeld = sets.NewSet()
+		s.entryHeld.AddAll(head.exitHeld)
 	}
-	held := s.entryHeld.Clone()
+	held := sets.GetMap()
+	held.AddAll(s.entryHeld)
 	for _, e := range b.Events {
 		switch e.Kind {
 		case trace.Lock:
@@ -148,10 +149,13 @@ func (l *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 			for a := e.Lo(); a < e.Hi(); a++ {
 				li := s.perLoc[a]
 				if li == nil {
-					li = &locInfo{}
+					li = getLocInfo()
+					li.inter = sets.GetMap()
+					li.inter.AddAll(held)
 					s.perLoc[a] = li
+				} else {
+					li.inter.IntersectInPlace(held)
 				}
-				li.inter = intersect(li.inter, held)
 				li.write = li.write || e.Kind == trace.Write
 			}
 		}
@@ -168,7 +172,9 @@ func (l *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 	}
 	sos := ctx.SOS.(*state)
 	own := sum(ctx.Own)
-	held := own.entryHeld.Clone()
+	held := sets.GetMap()
+	defer sets.PutMap(held)
+	held.AddAll(own.entryHeld)
 	// Pre-aggregate the wings per location (each location only once).
 	type wingAgg struct {
 		inter   sets.Set
@@ -191,7 +197,12 @@ func (l *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 	}
 
 	var reports []core.Report
-	flaggedLoc := map[uint64]bool{} // one report per location per block
+	flagged := sets.GetMap() // one report per location per block
+	eff := sets.GetMap()     // per-byte scratch, reused
+	thr := sets.GetMap()     // per-byte thread-id scratch, reused
+	defer sets.PutMap(flagged)
+	defer sets.PutMap(eff)
+	defer sets.PutMap(thr)
 	for i, e := range b.Events {
 		switch e.Kind {
 		case trace.Lock:
@@ -203,35 +214,45 @@ func (l *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 			var raceLo, raceHi uint64
 			var raceThreads map[trace.ThreadID]struct{}
 			for a := e.Lo(); a < e.Hi(); a++ {
-				if flaggedLoc[a] {
+				if flagged.Has(a) {
 					continue
 				}
-				eff := held.Clone()
+				eff.Clear()
+				eff.AddAll(held)
+				thr.Clear()
+				thr.Add(uint64(b.Thread))
 				write := e.Kind == trace.Write
-				threads := map[trace.ThreadID]struct{}{b.Thread: {}}
 				if sc, ok := sos.perLoc[a]; ok {
-					eff = intersect(eff, sc.c)
+					if sc.c != nil {
+						eff.IntersectInPlace(sc.c)
+					}
 					write = write || sc.write
 					for t := range sc.threads {
-						threads[t] = struct{}{}
+						thr.Add(uint64(t))
 					}
 				}
 				if wa, ok := agg[a]; ok {
-					eff = intersect(eff, wa.inter)
+					if wa.inter != nil {
+						eff.IntersectInPlace(wa.inter)
+					}
 					write = write || wa.write
 					for t := range wa.threads {
-						threads[t] = struct{}{}
+						thr.Add(uint64(t))
 					}
 				}
 				// Accesses earlier in this block also refine (own info).
 				if li, ok := own.perLoc[a]; ok {
-					eff = intersect(eff, li.inter)
+					eff.IntersectInPlace(li.inter)
 					write = write || li.write
 				}
-				if eff != nil && eff.Empty() && len(threads) >= 2 && write {
-					flaggedLoc[a] = true
+				if eff.Empty() && thr.Len() >= 2 && write {
+					flagged.Add(a)
 					if raceThreads == nil {
-						raceLo, raceThreads = a, threads
+						raceLo = a
+						raceThreads = make(map[trace.ThreadID]struct{}, thr.Len())
+						for t := range thr {
+							raceThreads[trace.ThreadID(t)] = struct{}{}
+						}
 					}
 					raceHi = a + 1
 				}

@@ -94,13 +94,14 @@ func (l *Butterfly) firstPassSharded(b *epoch.Block, ctx core.PassContext, sh *c
 	ss := &shardedSummary{pieces: make([]*Summary, K)}
 	head, _ := ctx.Head.(*shardedSummary)
 	sh.Do(func(k int) {
-		s := &Summary{thread: b.Thread, perLoc: map[uint64]*locInfo{}}
+		s := getSummary()
+		s.thread = b.Thread
+		s.entryHeld = sets.GetMap()
 		if head != nil {
-			s.entryHeld = head.pieces[k].exitHeld.Clone()
-		} else {
-			s.entryHeld = sets.NewSet()
+			s.entryHeld.AddAll(head.pieces[k].exitHeld)
 		}
-		held := s.entryHeld.Clone()
+		held := sets.GetMap()
+		held.AddAll(s.entryHeld)
 		for _, e := range b.Events {
 			switch e.Kind {
 			case trace.Lock:
@@ -114,10 +115,13 @@ func (l *Butterfly) firstPassSharded(b *epoch.Block, ctx core.PassContext, sh *c
 					}
 					li := s.perLoc[a]
 					if li == nil {
-						li = &locInfo{}
+						li = getLocInfo()
+						li.inter = sets.GetMap()
+						li.inter.AddAll(held)
 						s.perLoc[a] = li
+					} else {
+						li.inter.IntersectInPlace(held)
 					}
-					li.inter = intersect(li.inter, held)
 					li.write = li.write || e.Kind == trace.Write
 				}
 			}

@@ -98,21 +98,26 @@ func sum(s core.Summary) *Summary {
 // lsos computes the defined-bytes LSOS (the §5.2 reaching-expressions
 // form): head definitions survive unless another thread undefined those
 // bytes in epoch l−2; SOS bytes survive unless the head undefined them.
+// The returned set is pooled; callers release it with sets.PutSet.
 func (m *Butterfly) lsos(t trace.ThreadID, ctx core.PassContext) *sets.IntervalSet {
 	sos := ctx.SOS.(*sets.IntervalSet)
 	head := sum(ctx.Head)
+	out := sets.GetSet()
+	out.CopyFrom(sos)
 	if head == nil {
-		return sos.Clone()
+		return out
 	}
-	fromHead := head.Gen.Clone()
+	fromHead := sets.GetSet()
+	fromHead.CopyFrom(head.Gen)
 	for tt, s2 := range ctx.Epoch2Back {
 		if trace.ThreadID(tt) == t || s2 == nil {
 			continue
 		}
-		fromHead = fromHead.Subtract(sum(s2).Kill)
+		fromHead.SubtractInPlace(sum(s2).Kill)
 	}
-	out := sos.Subtract(head.Kill)
+	out.SubtractInPlace(head.Kill)
 	out.UnionInPlace(fromHead)
+	sets.PutSet(fromHead)
 	return out
 }
 
@@ -122,13 +127,9 @@ func (m *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summar
 	if ctx.Sharding != nil {
 		return m.firstPassSharded(b, ctx, ctx.Sharding)
 	}
-	s := &Summary{
-		Gen:     sets.NewIntervalSet(),
-		Kill:    sets.NewIntervalSet(),
-		KillAny: sets.NewIntervalSet(),
-		Reads:   sets.NewIntervalSet(),
-	}
+	s := getSummary()
 	lsos := m.lsos(b.Thread, ctx)
+	defer sets.PutSet(lsos)
 	var reports []core.Report
 	for i, e := range b.Events {
 		if !m.relevant(e) {
@@ -166,7 +167,8 @@ func (m *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 	if ctx.Sharding != nil {
 		return m.secondPassSharded(b, wings, ctx.Sharding)
 	}
-	wingKills := sets.NewIntervalSet()
+	wingKills := sets.GetSet()
+	defer sets.PutSet(wingKills)
 	for _, w := range wings {
 		wingKills.UnionInPlace(sum(w).KillAny)
 	}
@@ -192,14 +194,18 @@ func (m *Butterfly) SecondPass(b *epoch.Block, ctx core.PassContext, wings []cor
 // intervals (identical shape to AddrCheck's, with definedness facts).
 func (m *Butterfly) UpdateSOS(prev core.State, prevEpoch, curEpoch []core.Summary) core.State {
 	sos := prev.(*sets.IntervalSet)
-	kill := sets.NewIntervalSet()
+	kill := sets.GetSet()
 	for _, s := range curEpoch {
 		kill.UnionInPlace(sum(s).Kill)
 	}
-	gen := sets.NewIntervalSet()
+	gen := sets.GetSet()
+	g := sets.GetSet()
+	killedSpan := sets.GetSet()
+	gennedSpan := sets.GetSet()
+	scratch := sets.GetSet()
 	T := len(curEpoch)
 	for t := 0; t < T; t++ {
-		g := sum(curEpoch[t]).Gen.Clone()
+		g.CopyFrom(sum(curEpoch[t]).Gen)
 		for tt := 0; tt < T; tt++ {
 			if tt == t || g.Empty() {
 				continue
@@ -209,17 +215,28 @@ func (m *Butterfly) UpdateSOS(prev core.State, prevEpoch, curEpoch []core.Summar
 			if prevEpoch != nil {
 				prev = sum(prevEpoch[tt])
 			}
-			killedSpan := cur.Kill.Clone()
-			gennedSpan := cur.Gen.Clone()
+			killedSpan.CopyFrom(cur.Kill)
+			gennedSpan.CopyFrom(cur.Gen)
 			if prev != nil {
 				killedSpan.UnionInPlace(prev.Kill)
-				gennedSpan.UnionInPlace(prev.Gen.Subtract(cur.Kill))
+				scratch.CopyFrom(prev.Gen)
+				scratch.SubtractInPlace(cur.Kill)
+				gennedSpan.UnionInPlace(scratch)
 			}
-			g = g.Subtract(killedSpan.Subtract(gennedSpan))
+			killedSpan.SubtractInPlace(gennedSpan)
+			g.SubtractInPlace(killedSpan)
 		}
 		gen.UnionInPlace(g)
 	}
-	out := sos.Subtract(kill)
+	out := sets.GetSet()
+	out.CopyFrom(sos)
+	out.SubtractInPlace(kill)
 	out.UnionInPlace(gen)
+	sets.PutSet(kill)
+	sets.PutSet(gen)
+	sets.PutSet(g)
+	sets.PutSet(killedSpan)
+	sets.PutSet(gennedSpan)
+	sets.PutSet(scratch)
 	return out
 }

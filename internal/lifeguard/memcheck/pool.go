@@ -1,0 +1,67 @@
+package memcheck
+
+import (
+	"sync"
+
+	"butterfly/internal/core"
+	"butterfly/internal/sets"
+)
+
+// Pooled per-block state (DESIGN.md §12), mirroring addrcheck: summaries are
+// built from recycled storage and handed back through the core recycler
+// hooks when they leave the butterfly window. A released summary is reset to
+// canonical empty form before reuse.
+
+var summaryPool sync.Pool
+
+func getSummary() *Summary {
+	if s, _ := summaryPool.Get().(*Summary); s != nil {
+		return s
+	}
+	return &Summary{
+		Gen:     sets.GetSet(),
+		Kill:    sets.GetSet(),
+		KillAny: sets.GetSet(),
+		Reads:   sets.GetSet(),
+	}
+}
+
+func putSummary(s *Summary) {
+	if s == nil {
+		return
+	}
+	s.Gen.Reset()
+	s.Kill.Reset()
+	s.KillAny.Reset()
+	s.Reads.Reset()
+	summaryPool.Put(s)
+}
+
+var (
+	_ core.SummaryRecycler = (*Butterfly)(nil)
+	_ core.StateRecycler   = (*Butterfly)(nil)
+)
+
+// RecycleSummary implements core.SummaryRecycler.
+func (m *Butterfly) RecycleSummary(s core.Summary) {
+	switch v := s.(type) {
+	case *Summary:
+		putSummary(v)
+	case *shardedSummary:
+		for _, p := range v.pieces {
+			putSummary(p)
+		}
+	}
+}
+
+// RecycleState implements core.StateRecycler.
+func (m *Butterfly) RecycleState(s core.State) {
+	switch v := s.(type) {
+	case *sets.IntervalSet:
+		sets.PutSet(v)
+	case sets.ShardedIntervals:
+		for _, p := range v {
+			sets.PutSet(p)
+		}
+	}
+}

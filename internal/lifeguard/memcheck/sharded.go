@@ -72,13 +72,9 @@ func (m *Butterfly) firstPassSharded(b *epoch.Block, ctx core.PassContext, sh *c
 	ss := &shardedSummary{pieces: make([]*Summary, K)}
 	bads := make([][]bool, K)
 	sh.Do(func(k int) {
-		s := &Summary{
-			Gen:     sets.NewIntervalSet(),
-			Kill:    sets.NewIntervalSet(),
-			KillAny: sets.NewIntervalSet(),
-			Reads:   sets.NewIntervalSet(),
-		}
+		s := getSummary()
 		lsos := m.lsos(b.Thread, pieceCtx(ctx, k))
+		defer sets.PutSet(lsos)
 		var bad []bool
 		for i, e := range b.Events {
 			if !m.relevant(e) {
@@ -140,7 +136,8 @@ func (m *Butterfly) secondPassSharded(b *epoch.Block, wings []core.Summary, sh *
 	K := sh.K()
 	bads := make([][]bool, K)
 	sh.Do(func(k int) {
-		wingKills := sets.NewIntervalSet()
+		wingKills := sets.GetSet()
+		defer sets.PutSet(wingKills)
 		for _, w := range wings {
 			wingKills.UnionInPlace(w.(*shardedSummary).pieces[k].KillAny)
 		}

@@ -1,0 +1,63 @@
+package taintcheck
+
+import (
+	"sync"
+
+	"butterfly/internal/core"
+)
+
+// Pooled per-block state (DESIGN.md §12). TaintCheck summaries are transfer-
+// function tables; recycling keeps the maps and the tfn nodes alive across
+// blocks. Transfer functions are immutable after FirstPass builds them (the
+// resolver only reads), so a tfn is safe to recycle the moment its summary
+// leaves the butterfly window. The SOS (a plain fact set) is rebuilt fresh by
+// every update and never aliased, so it needs no recycler.
+
+var (
+	summaryPool sync.Pool
+	tfnPool     sync.Pool
+)
+
+func getSummary() *Summary {
+	if s, _ := summaryPool.Get().(*Summary); s != nil {
+		return s
+	}
+	return &Summary{
+		writes:    map[uint64][]*tfn{},
+		lastCheck: map[uint64]Status{},
+	}
+}
+
+func putSummary(s *Summary) {
+	if s == nil {
+		return
+	}
+	for a, fs := range s.writes {
+		for _, f := range fs {
+			*f = tfn{}
+			tfnPool.Put(f)
+		}
+		delete(s.writes, a)
+	}
+	for a := range s.lastCheck {
+		delete(s.lastCheck, a)
+	}
+	summaryPool.Put(s)
+}
+
+func getTfn() *tfn {
+	if f, _ := tfnPool.Get().(*tfn); f != nil {
+		return f
+	}
+	return &tfn{}
+}
+
+var _ core.SummaryRecycler = (*Butterfly)(nil)
+
+// RecycleSummary implements core.SummaryRecycler. TaintCheck's sharded mode
+// shares the serial summaries, so there is no sharded case.
+func (tc *Butterfly) RecycleSummary(s core.Summary) {
+	if v, ok := s.(*Summary); ok {
+		putSummary(v)
+	}
+}

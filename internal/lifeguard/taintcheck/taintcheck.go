@@ -176,30 +176,30 @@ func sum(s core.Summary) *Summary {
 // functions. Checks are deferred to the second pass, where the head's
 // LASTCHECK conclusions and the wings' functions are available.
 func (tc *Butterfly) FirstPass(b *epoch.Block, ctx core.PassContext) (core.Summary, []core.Report) {
-	s := &Summary{
-		epoch:     b.Epoch,
-		thread:    b.Thread,
-		writes:    map[uint64][]*tfn{},
-		lastCheck: map[uint64]Status{},
+	s := getSummary()
+	s.epoch, s.thread = b.Epoch, b.Thread
+	add := func(i int, loc uint64, kind tfnKind, srcs [2]uint64) {
+		f := getTfn()
+		f.idx, f.ref, f.loc, f.kind, f.srcs = i, b.Ref(i), loc, kind, srcs
+		s.writes[loc] = append(s.writes[loc], f)
 	}
-	add := func(f *tfn) { s.writes[f.loc] = append(s.writes[f.loc], f) }
 	for i, e := range b.Events {
 		switch e.Kind {
 		case trace.TaintSrc:
 			for a := e.Lo(); a < e.Hi(); a++ {
-				add(&tfn{idx: i, ref: b.Ref(i), loc: a, kind: tfnTaint})
+				add(i, a, tfnTaint, [2]uint64{})
 			}
 		case trace.Untaint:
-			add(&tfn{idx: i, ref: b.Ref(i), loc: e.Addr, kind: tfnUntaint})
+			add(i, e.Addr, tfnUntaint, [2]uint64{})
 		case trace.AssignUn:
-			add(&tfn{idx: i, ref: b.Ref(i), loc: e.Addr, kind: tfnUnop, srcs: [2]uint64{e.Src1}})
+			add(i, e.Addr, tfnUnop, [2]uint64{e.Src1})
 		case trace.AssignBin:
-			add(&tfn{idx: i, ref: b.Ref(i), loc: e.Addr, kind: tfnBinop, srcs: [2]uint64{e.Src1, e.Src2}})
+			add(i, e.Addr, tfnBinop, [2]uint64{e.Src1, e.Src2})
 		case trace.Write:
 			// A plain store writes untrusted-independent data of unknown
 			// provenance; the canonical TaintCheck treats it as untainting
 			// (a constant/register write). Loads/Jumps are uses, not defs.
-			add(&tfn{idx: i, ref: b.Ref(i), loc: e.Addr, kind: tfnUntaint})
+			add(i, e.Addr, tfnUntaint, [2]uint64{})
 		}
 	}
 	return s, nil

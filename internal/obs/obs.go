@@ -64,6 +64,13 @@ const (
 	MetricShardInflight     = "shard.inflight"      // gauge: shard tasks currently executing
 	MetricShardInflightPeak = "shard.peak_inflight" // gauge: high-water mark of shard.inflight
 
+	// Memory-discipline metrics (DESIGN.md §12). Instrumented drivers
+	// sample runtime.ReadMemStats every few epochs; a pooled steady state
+	// shows allocs.per.epoch near zero and gc.cycles barely moving.
+	MetricGCPauseNs      = "gc.pause.ns"      // gauge: cumulative GC stop-the-world pause
+	MetricGCCycles       = "gc.cycles"        // gauge: completed GC cycles
+	MetricAllocsPerEpoch = "allocs.per.epoch" // gauge: heap objects allocated per epoch, recent window
+
 	// butterflyd service metrics (internal/server). Counters unless noted;
 	// driver-stage metrics above aggregate across sessions, since every
 	// session's driver shares the server's registry.

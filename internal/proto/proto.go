@@ -185,9 +185,18 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	return err
 }
 
-// WriteJSON marshals v and writes it as a frame of type t.
+// WriteJSON marshals v and writes it as a frame of type t. Reports frames —
+// the only payload that is hot — take the hand-rolled encoder directly;
+// routing them through json.Marshal would re-validate and re-compact the
+// bytes MarshalJSON just produced.
 func WriteJSON(w io.Writer, t FrameType, v any) error {
-	payload, err := json.Marshal(v)
+	var payload []byte
+	var err error
+	if r, ok := v.(Reports); ok {
+		payload, err = r.MarshalJSON()
+	} else {
+		payload, err = json.Marshal(v)
+	}
 	if err != nil {
 		return fmt.Errorf("proto: encoding %v: %w", t, err)
 	}
@@ -228,6 +237,67 @@ func ReadFrame(br *bufio.Reader) (FrameType, []byte, error) {
 	return FrameType(tb), buf.Bytes(), nil
 }
 
+// frameChunk bounds how far FrameReader grows its buffer beyond the bytes
+// that have actually arrived, so a forged length cannot exhaust memory.
+const frameChunk = 32 << 10
+
+// FrameReader reads frames like ReadFrame but reuses one payload buffer
+// across frames, so a session's steady-state frame loop does not allocate.
+// The returned payload is valid only until the next Read call; callers that
+// retain it must copy. The claimed frame length is still never trusted for
+// allocation: the buffer grows in frameChunk steps as data arrives.
+type FrameReader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader over br.
+func NewFrameReader(br *bufio.Reader) *FrameReader { return &FrameReader{br: br} }
+
+// Read reads one frame, with ReadFrame's EOF contract.
+func (fr *FrameReader) Read() (FrameType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("proto: frame length: %w", cut(err))
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("proto: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("proto: frame of %d bytes exceeds MaxFrame", n)
+	}
+	tb, err := fr.br.ReadByte()
+	if err != nil {
+		return 0, nil, fmt.Errorf("proto: frame type: %w", cut(err))
+	}
+	want := int(n - 1)
+	buf := fr.buf[:0]
+	for len(buf) < want {
+		chunk := want - len(buf)
+		if chunk > frameChunk {
+			chunk = frameChunk
+		}
+		if cap(buf)-len(buf) < chunk {
+			grown := make([]byte, len(buf), len(buf)+chunk)
+			copy(grown, buf)
+			buf = grown
+		}
+		m, err := io.ReadFull(fr.br, buf[len(buf):len(buf)+chunk])
+		buf = buf[:len(buf)+m]
+		if err != nil {
+			fr.buf = buf
+			return 0, nil, fmt.Errorf("proto: %v frame body (%d of %d bytes): %w",
+				FrameType(tb), len(buf), want, cut(err))
+		}
+	}
+	fr.buf = buf
+	return FrameType(tb), buf, nil
+}
+
 // cut rewrites a clean io.EOF mid-frame into io.ErrUnexpectedEOF while
 // keeping any other error (network resets and the like) in the chain
 // alongside the sentinel.
@@ -256,11 +326,19 @@ func EncodeEpoch(epochNum int, row [][]trace.Event) ([]byte, error) {
 // DecodeEpoch parses an Epoch frame payload for a session of nthreads
 // threads.
 func DecodeEpoch(payload []byte, nthreads int) (epochNum int, row [][]trace.Event, err error) {
+	return DecodeEpochInto(payload, nthreads, nil)
+}
+
+// DecodeEpochInto is DecodeEpoch decoding into into's event backings
+// (trace.DecodeEpochRowInto): the pooled server path hands in the event
+// slices of a recycled epoch.RowPool row and decodes without allocating.
+// Pass nil to allocate fresh slices.
+func DecodeEpochInto(payload []byte, nthreads int, into [][]trace.Event) (epochNum int, row [][]trace.Event, err error) {
 	num, n := binary.Uvarint(payload)
 	if n <= 0 || num > 1<<40 {
 		return 0, nil, fmt.Errorf("proto: bad epoch number in epoch frame")
 	}
-	row, err = trace.DecodeEpochRow(payload[n:], nthreads)
+	row, err = trace.DecodeEpochRowInto(payload[n:], nthreads, into)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,263 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+
+	"butterfly/internal/core"
+	"butterfly/internal/trace"
+)
+
+// nastyStrings exercises every escaping branch: quotes, backslashes,
+// controls, the HTML trio, multibyte runes, invalid UTF-8 and the JS
+// line-separator pair.
+var nastyStrings = []string{
+	"",
+	"plain ascii detail",
+	`access to "0x100" <unallocated>`,
+	"a&b<c>d",
+	"tab\there\nnewline\rcr",
+	"ctrl\x01\x1f end",
+	"back\\slash and \"quote\"",
+	"héllo wörld — ünïcode",
+	"日本語テキスト",
+	"emoji \U0001F41B bug",
+	"bad utf8 \xff\xfe mid",
+	"line sep   and   end",
+	"trailing backslash \\",
+	"\x00zero",
+}
+
+func randString(rng *rand.Rand) string {
+	if rng.Intn(3) == 0 {
+		return nastyStrings[rng.Intn(len(nastyStrings))]
+	}
+	n := rng.Intn(40)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+func randReports(rng *rand.Rand) Reports {
+	r := Reports{Epoch: rng.Intn(1 << 20)}
+	if rng.Intn(10) == 0 {
+		return r // nil Reports slice
+	}
+	n := rng.Intn(6)
+	r.Reports = make([]core.Report, 0, n)
+	for i := 0; i < n; i++ {
+		r.Reports = append(r.Reports, core.Report{
+			Ref: trace.Ref{
+				Epoch:  rng.Intn(1 << 16),
+				Thread: trace.ThreadID(rng.Intn(64)),
+				Index:  rng.Intn(1 << 16),
+			},
+			Ev: trace.Event{
+				Kind:  trace.Kind(rng.Intn(256)),
+				Addr:  rng.Uint64(),
+				Size:  rng.Uint64() % 4096,
+				Src1:  rng.Uint64(),
+				Src2:  rng.Uint64(),
+				Cycle: rng.Uint64(),
+			},
+			Code:   randString(rng),
+			Detail: randString(rng),
+		})
+	}
+	return r
+}
+
+// TestReportsMarshalMatchesStdlib checks the hand-rolled encoder emits the
+// exact bytes encoding/json would, across adversarial string contents.
+func TestReportsMarshalMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := randReports(rng)
+		fast, err := r.MarshalJSON()
+		if err != nil {
+			t.Fatalf("MarshalJSON: %v", err)
+		}
+		std, err := json.Marshal(reportsAlias(r))
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		if !bytes.Equal(fast, std) {
+			t.Fatalf("iter %d: encoder mismatch\nfast: %q\nstd:  %q\ninput: %+v", i, fast, std, r)
+		}
+	}
+}
+
+// TestReportsRoundTrip checks the fast parser recovers the original value
+// from the fast encoder's output.
+func TestReportsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		r := randReports(rng)
+		data, err := json.Marshal(r) // dispatches to MarshalJSON
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var got Reports
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		// Strings from randString may contain invalid UTF-8, which marshal
+		// maps to U+FFFD — normalize the expectation the same way stdlib
+		// round-trips would.
+		want := r
+		if len(want.Reports) > 0 {
+			want.Reports = append([]core.Report(nil), want.Reports...)
+			for j := range want.Reports {
+				want.Reports[j].Code = toValidUTF8(want.Reports[j].Code)
+				want.Reports[j].Detail = toValidUTF8(want.Reports[j].Detail)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: round-trip mismatch\ngot:  %+v\nwant: %+v\nwire: %q", i, got, want, data)
+		}
+	}
+}
+
+// toValidUTF8 replaces each invalid byte with U+FFFD, matching the
+// per-byte behavior of encoding/json's encoder (bytes.ToValidUTF8
+// collapses runs, which is not what stdlib does).
+func toValidUTF8(s string) string {
+	var b []byte
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, "�"...)
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return string(b)
+}
+
+// TestReportsUnmarshalForeignShapes checks the stdlib fallback engages for
+// JSON the fast parser does not recognize.
+func TestReportsUnmarshalForeignShapes(t *testing.T) {
+	want := Reports{Epoch: 5, Reports: []core.Report{{
+		Ref:  trace.Ref{Epoch: 1, Thread: 2, Index: 3},
+		Ev:   trace.Event{Kind: 4, Addr: 5, Size: 6, Src1: 7, Src2: 8, Cycle: 9},
+		Code: "c", Detail: "d",
+	}}}
+	cases := []string{
+		// Reordered envelope keys.
+		`{"reports":[{"Ref":{"Epoch":1,"Thread":2,"Index":3},"Ev":{"Kind":4,"Addr":5,"Size":6,"Src1":7,"Src2":8,"Cycle":9},"Code":"c","Detail":"d"}],"epoch":5}`,
+		// Whitespace everywhere.
+		"{ \"epoch\" : 5 , \"reports\" : [ { \"Ref\" : { \"Epoch\" :1, \"Thread\" :2, \"Index\" :3}, \"Ev\" : { \"Kind\" :4, \"Addr\" :5, \"Size\" :6, \"Src1\" :7, \"Src2\" :8, \"Cycle\" :9}, \"Code\" : \"c\", \"Detail\" : \"d\" } ] }",
+		// Indented (json.MarshalIndent style).
+		"{\n  \"epoch\": 5,\n  \"reports\": [\n    {\n      \"Ref\": {\"Epoch\": 1, \"Thread\": 2, \"Index\": 3},\n      \"Ev\": {\"Kind\": 4, \"Addr\": 5, \"Size\": 6, \"Src1\": 7, \"Src2\": 8, \"Cycle\": 9},\n      \"Code\": \"c\",\n      \"Detail\": \"d\"\n    }\n  ]\n}",
+	}
+	for i, c := range cases {
+		var got Reports
+		if err := json.Unmarshal([]byte(c), &got); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: got %+v want %+v", i, got, want)
+		}
+	}
+	var bad Reports
+	if err := json.Unmarshal([]byte(`{"epoch":"not a number"}`), &bad); err == nil {
+		t.Fatal("expected error for malformed frame")
+	}
+}
+
+// TestReportsUnmarshalEscapes drives the slow string path: every escape
+// form stdlib can emit or accept, including surrogate pairs.
+func TestReportsUnmarshalEscapes(t *testing.T) {
+	in := `{"epoch":1,"reports":[{"Ref":{"Epoch":0,"Thread":0,"Index":0},"Ev":{"Kind":0,"Addr":0,"Size":0,"Src1":0,"Src2":0,"Cycle":0},"Code":"A\\\"\/\b\f\n\r\t🐛","Detail":"<x>&"}]}`
+	var got Reports
+	if err := json.Unmarshal([]byte(in), &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	wantCode := "A\\\"/\b\f\n\r\t\U0001F41B"
+	if got.Reports[0].Code != wantCode {
+		t.Errorf("Code = %q, want %q", got.Reports[0].Code, wantCode)
+	}
+	if got.Reports[0].Detail != "<x>&" {
+		t.Errorf("Detail = %q, want %q", got.Reports[0].Detail, "<x>&")
+	}
+	// Lone surrogate: both parsers map it to U+FFFD.
+	in2 := `{"epoch":1,"reports":[{"Ref":{"Epoch":0,"Thread":0,"Index":0},"Ev":{"Kind":0,"Addr":0,"Size":0,"Src1":0,"Src2":0,"Cycle":0},"Code":"x\ud800y","Detail":""}]}`
+	var got2 Reports
+	if err := json.Unmarshal([]byte(in2), &got2); err != nil {
+		t.Fatalf("unmarshal lone surrogate: %v", err)
+	}
+	if want := "x�y"; got2.Reports[0].Code != want {
+		t.Errorf("lone surrogate Code = %q, want %q", got2.Reports[0].Code, want)
+	}
+	// Lone high surrogate followed by another escape: stdlib reprocesses
+	// the second escape on its own ("\ud800A" decodes to "�A").
+	// The fast parser must agree on every input it accepts.
+	frame := func(code string) string {
+		return `{"epoch":1,"reports":[{"Ref":{"Epoch":0,"Thread":0,"Index":0},"Ev":{"Kind":0,"Addr":0,"Size":0,"Src1":0,"Src2":0,"Cycle":0},"Code":"` + code + `","Detail":""}]}`
+	}
+	for _, esc := range []string{
+		`\ud800A`, `\ud800\ud800`, `\ud800\udc00`, `\udc00tail`, `🐛`,
+	} {
+		in := frame(esc)
+		fast, ok := parseReportsFast([]byte(in))
+		if !ok {
+			t.Fatalf("fast parser rejected %q", esc)
+		}
+		var std reportsAlias
+		if err := json.Unmarshal([]byte(in), &std); err != nil {
+			t.Fatalf("stdlib rejected %q: %v", esc, err)
+		}
+		if fast.Reports[0].Code != std.Reports[0].Code {
+			t.Errorf("escape %q: fast %q, stdlib %q", esc, fast.Reports[0].Code, std.Reports[0].Code)
+		}
+	}
+}
+
+func BenchmarkReportsMarshal(b *testing.B) {
+	r := Reports{Epoch: 17, Reports: make([]core.Report, 8)}
+	for i := range r.Reports {
+		r.Reports[i] = core.Report{
+			Ref:  trace.Ref{Epoch: 15, Thread: trace.ThreadID(i), Index: 100 + i},
+			Ev:   trace.Event{Kind: 2, Addr: 0x1000, Size: 8, Cycle: uint64(i)},
+			Code: "addrcheck.unallocated-access",
+			Detail: `access to "0x1000" <unallocated>`,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.MarshalJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReportsUnmarshal(b *testing.B) {
+	r := Reports{Epoch: 17, Reports: make([]core.Report, 8)}
+	for i := range r.Reports {
+		r.Reports[i] = core.Report{
+			Ref:  trace.Ref{Epoch: 15, Thread: trace.ThreadID(i), Index: 100 + i},
+			Ev:   trace.Event{Kind: 2, Addr: 0x1000, Size: 8, Cycle: uint64(i)},
+			Code: "addrcheck.unallocated-access",
+			Detail: `access to "0x1000" <unallocated>`,
+		}
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var got Reports
+		if err := json.Unmarshal(data, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -415,8 +415,13 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 		return
 	}
 
+	// The frame loop reuses one payload buffer (FrameReader) and recycled
+	// epoch rows (the session's RowPool), so a healthy session's steady
+	// state reads, decodes and analyzes without allocating. Payloads are
+	// fully consumed before the next Read, as FrameReader requires.
+	fr := proto.NewFrameReader(br)
 	for {
-		ft, payload, err := proto.ReadFrame(br)
+		ft, payload, err := fr.Read()
 		if err != nil {
 			s.detach(sess)
 			return
@@ -433,10 +438,17 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 
 		switch ft {
 		case proto.FrameEpoch:
-			num, row, err := proto.DecodeEpoch(payload, sess.hello.NumThreads)
+			blocks := sess.rows.Get(sess.hello.NumThreads)
+			for t, b := range blocks {
+				sess.evRow[t] = b.Events[:0]
+			}
+			num, row, err := proto.DecodeEpochInto(payload, sess.hello.NumThreads, sess.evRow)
 			if err != nil {
 				s.sessionError(bw, sess, "protocol", "bad epoch frame: "+err.Error())
 				return
+			}
+			for t, b := range blocks {
+				b.Events = row[t]
 			}
 			if num != sess.inc.NextEpoch() {
 				s.sessionError(bw, sess, "protocol",
@@ -449,8 +461,9 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 					fmt.Sprintf("session exceeded %d-epoch quota", s.cfg.MaxSessionEpochs))
 				return
 			}
+			sess.rb.Stamp(blocks)
 			s.acquire()
-			reps, err := sess.inc.FeedEpoch(sess.rb.Row(row))
+			reps, err := sess.inc.FeedEpoch(blocks)
 			s.release()
 			if err != nil {
 				s.sessionError(bw, sess, "internal", err.Error())

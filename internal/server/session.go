@@ -10,6 +10,7 @@ import (
 	"butterfly/internal/epoch"
 	"butterfly/internal/lifeguard/registry"
 	"butterfly/internal/proto"
+	"butterfly/internal/trace"
 )
 
 // session is one trace-analysis session: a checkpointable incremental
@@ -30,6 +31,14 @@ type session struct {
 
 	inc *core.Incremental
 	rb  *epoch.RowBuilder
+
+	// rows/evRow are the session's pooled-decode state: epoch frames decode
+	// straight into a recycled row's event backings (evRow is the scratch
+	// view handed to the decoder), and the driver returns each row to the
+	// pool once its second pass has consumed it. The most recently fed row
+	// is the checkpoint and stays out of the pool across a detach/resume.
+	rows  epoch.RowPool
+	evRow [][]trace.Event
 
 	// replay holds every non-empty tick's reports in tick order, so a
 	// resuming client can be handed exactly the frames it missed. Memory is
@@ -79,13 +88,16 @@ func (s *Server) newSession(h proto.Hello) (*session, *proto.Reject) {
 		inc.Close()
 		return nil, &proto.Reject{Code: "internal", Reason: err.Error()}
 	}
-	return &session{
+	sess := &session{
 		id:      id,
 		hello:   h,
 		created: time.Now(),
 		inc:     inc,
 		rb:      epoch.NewRowBuilder(h.NumThreads),
-	}, nil
+		evRow:   make([][]trace.Event, h.NumThreads),
+	}
+	inc.SetRowRecycler(sess.rows.Put)
+	return sess, nil
 }
 
 // replayAfter returns the report frames for ticks after acked, in order.

@@ -33,11 +33,33 @@ func (iv Interval) Overlaps(o Interval) bool {
 
 func (iv Interval) String() string { return fmt.Sprintf("[%#x,%#x)", iv.Lo, iv.Hi) }
 
+// smallIvs is the inline-storage capacity: sets of up to this many intervals
+// live entirely inside the IntervalSet value, with no heap backing. Event
+// working sets coalesce aggressively, so the overwhelmingly common case —
+// GEN/KILL of a block touching a handful of ranges — never allocates.
+const smallIvs = 4
+
 // IntervalSet is a set of bytes represented as sorted, coalesced,
 // non-overlapping half-open intervals. The zero value is an empty set ready
 // to use.
+//
+// Canonical representation. Differential tests compare states containing
+// IntervalSets with reflect.DeepEqual across runs with different schedules,
+// shard counts and pooling histories, so the in-memory form must be a pure
+// function of the set's contents. Every mutator restores (via norm):
+//
+//   - empty        ⇔ ivs == nil, small zeroed, inl == false
+//   - 1..smallIvs  ⇔ ivs == small[:n] (inline), unused tail of small zeroed,
+//     inl == true
+//   - > smallIvs   ⇔ ivs heap-backed, small zeroed, inl == false
+//
+// Two sets covering the same bytes are therefore DeepEqual no matter how
+// they were produced. Code constructing ivs directly must go through
+// adoptSorted or end with norm().
 type IntervalSet struct {
-	ivs []Interval // sorted by Lo; non-overlapping; non-adjacent (coalesced)
+	ivs   []Interval // sorted by Lo; non-overlapping; non-adjacent (coalesced)
+	small [smallIvs]Interval
+	inl   bool // ivs is backed by small
 }
 
 // NewIntervalSet returns a set containing the given intervals.
@@ -49,15 +71,132 @@ func NewIntervalSet(ivs ...Interval) *IntervalSet {
 	return s
 }
 
+// inline reports whether ivs currently points into small. It inspects the
+// actual backing rather than trusting inl, because append can silently move
+// a full inline backing to the heap mid-mutation.
+func (s *IntervalSet) inline() bool {
+	return len(s.ivs) > 0 && &s.ivs[0] == &s.small[0]
+}
+
+// norm restores the canonical representation after a mutation. It is cheap:
+// one branch for large sets, at most a smallIvs-element copy/zero otherwise.
+func (s *IntervalSet) norm() {
+	n := len(s.ivs)
+	switch {
+	case n == 0:
+		if s.inl {
+			s.small = [smallIvs]Interval{}
+		} else {
+			putBacking(s.ivs)
+		}
+		s.ivs = nil
+		s.inl = false
+	case n <= smallIvs:
+		if s.inline() {
+			for i := n; i < smallIvs; i++ {
+				s.small[i] = Interval{}
+			}
+		} else {
+			old := s.ivs
+			s.small = [smallIvs]Interval{}
+			copy(s.small[:], old)
+			putBacking(old)
+			s.ivs = s.small[:n]
+		}
+		s.inl = true
+	default:
+		if s.inl {
+			s.small = [smallIvs]Interval{}
+			s.inl = false
+		}
+	}
+}
+
+// adoptSorted replaces s's contents with the given sorted, coalesced slice,
+// taking ownership of it (large results keep it as backing; small ones copy
+// inline and release it to the pool).
+func (s *IntervalSet) adoptSorted(ivs []Interval) {
+	if s.inl || s.inline() {
+		s.small = [smallIvs]Interval{}
+		s.inl = false
+		s.ivs = nil
+	} else {
+		putBacking(s.ivs)
+		s.ivs = nil
+	}
+	s.ivs = ivs
+	s.norm()
+}
+
+// growOne extends ivs by one (uninitialized) slot, moving to inline storage
+// for the first interval and to pooled heap backing past smallIvs.
+func (s *IntervalSet) growOne() {
+	n := len(s.ivs)
+	if s.ivs == nil {
+		s.ivs = s.small[:1]
+		return
+	}
+	if n < cap(s.ivs) {
+		s.ivs = s.ivs[:n+1]
+		return
+	}
+	nb := getBacking(2 * n)
+	nb = nb[:n+1]
+	copy(nb, s.ivs)
+	if s.inline() {
+		s.small = [smallIvs]Interval{}
+		s.inl = false
+	} else {
+		putBacking(s.ivs)
+	}
+	s.ivs = nb
+}
+
+// Reset empties s in place, releasing any heap backing to the pool. The set
+// ends in the canonical empty form, exactly like a fresh zero value.
+func (s *IntervalSet) Reset() {
+	s.ivs = s.ivs[:0]
+	s.norm()
+}
+
+// CopyFrom replaces s's contents with a copy of o, reusing s's storage.
+func (s *IntervalSet) CopyFrom(o *IntervalSet) {
+	if s == o {
+		return
+	}
+	n := len(o.ivs)
+	switch {
+	case n == 0:
+		s.Reset()
+		return
+	case n <= smallIvs:
+		if !s.inl {
+			putBacking(s.ivs)
+		}
+		s.small = [smallIvs]Interval{}
+		copy(s.small[:], o.ivs)
+		s.ivs = s.small[:n]
+		s.inl = true
+	default:
+		if s.inl || s.inline() {
+			s.small = [smallIvs]Interval{}
+			s.inl = false
+			s.ivs = getBacking(n)
+		} else if cap(s.ivs) < n {
+			putBacking(s.ivs)
+			s.ivs = getBacking(n)
+		}
+		s.ivs = s.ivs[:n]
+		copy(s.ivs, o.ivs)
+	}
+}
+
 // Clone returns an independent copy of s. The empty set is canonically
 // represented with a nil slice (every mutator preserves this), so empty sets
 // compare equal under reflect.DeepEqual no matter how they were produced.
 func (s *IntervalSet) Clone() *IntervalSet {
-	if len(s.ivs) == 0 {
-		return &IntervalSet{}
-	}
-	c := &IntervalSet{ivs: make([]Interval, len(s.ivs))}
-	copy(c.ivs, s.ivs)
+	c := &IntervalSet{}
+	c.CopyFrom(s)
 	return c
 }
 
@@ -113,45 +252,78 @@ func (s *IntervalSet) AddRange(lo, hi uint64) {
 	switch {
 	case i == j:
 		// Pure insertion: shift the tail right by one.
-		s.ivs = append(s.ivs, Interval{})
+		s.growOne()
 		copy(s.ivs[i+1:], s.ivs[i:])
 		s.ivs[i] = merged
 	case j == i+1:
 		// Replace in place.
 		s.ivs[i] = merged
+		return // length unchanged: already canonical
 	default:
 		// Replace i..j with one interval: shift the tail left.
 		s.ivs[i] = merged
 		s.ivs = append(s.ivs[:i+1], s.ivs[j:]...)
 	}
+	s.norm()
 }
 
 // Add inserts the interval iv.
 func (s *IntervalSet) Add(iv Interval) { s.AddRange(iv.Lo, iv.Hi) }
 
 // RemoveRange deletes [lo, hi) from the set, splitting intervals as needed.
+// The removal is in place: at most one interval is split, so the set never
+// allocates unless the split grows it past its capacity.
 func (s *IntervalSet) RemoveRange(lo, hi uint64) {
 	if hi <= lo || len(s.ivs) == 0 {
 		return
 	}
 	i := s.search(lo)
-	var out []Interval
-	out = append(out, s.ivs[:i]...)
-	for k := i; k < len(s.ivs); k++ {
-		iv := s.ivs[k]
-		if iv.Lo >= hi {
-			out = append(out, s.ivs[k:]...)
-			break
-		}
-		// iv overlaps [lo,hi); keep the non-overlapping pieces.
-		if iv.Lo < lo {
-			out = append(out, Interval{iv.Lo, lo})
-		}
-		if iv.Hi > hi {
-			out = append(out, Interval{hi, iv.Hi})
-		}
+	if i == len(s.ivs) {
+		return
 	}
-	s.ivs = out
+	// [i, j) is the run of intervals overlapping [lo, hi).
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Lo < hi {
+		j++
+	}
+	if i == j {
+		return
+	}
+	// Boundary fragments that survive the removal.
+	var left, right Interval
+	nl, nr := 0, 0
+	if s.ivs[i].Lo < lo {
+		left, nl = Interval{s.ivs[i].Lo, lo}, 1
+	}
+	if s.ivs[j-1].Hi > hi {
+		right, nr = Interval{hi, s.ivs[j-1].Hi}, 1
+	}
+	switch rep := nl + nr; {
+	case rep == j-i:
+		if nl == 1 {
+			s.ivs[i] = left
+		}
+		if nr == 1 {
+			s.ivs[i+nl] = right
+		}
+		return // length unchanged: already canonical
+	case rep < j-i:
+		if nl == 1 {
+			s.ivs[i] = left
+		}
+		if nr == 1 {
+			s.ivs[i+nl] = right
+		}
+		n := copy(s.ivs[i+rep:], s.ivs[j:])
+		s.ivs = s.ivs[:i+rep+n]
+	default:
+		// One interval splits in two: shift the tail right by one.
+		s.growOne()
+		copy(s.ivs[j+1:], s.ivs[j:])
+		s.ivs[i] = left
+		s.ivs[i+1] = right
+	}
+	s.norm()
 }
 
 // Contains reports whether addr is in the set.
@@ -179,29 +351,110 @@ func (s *IntervalSet) OverlapsRange(lo, hi uint64) bool {
 	return i < len(s.ivs) && s.ivs[i].Lo < hi
 }
 
+// mergeUnion appends the coalesced union of the sorted, coalesced runs a and
+// b to dst. dst must not alias a or b.
+func mergeUnion(dst, a, b []Interval) []Interval {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var iv Interval
+		if j >= len(b) || (i < len(a) && a[i].Lo <= b[j].Lo) {
+			iv = a[i]
+			i++
+		} else {
+			iv = b[j]
+			j++
+		}
+		if n := len(dst); n > 0 && iv.Lo <= dst[n-1].Hi {
+			if iv.Hi > dst[n-1].Hi {
+				dst[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		dst = append(dst, iv)
+	}
+	return dst
+}
+
 // Union returns a new set holding s ∪ o.
 func (s *IntervalSet) Union(o *IntervalSet) *IntervalSet {
 	c := s.Clone()
-	for _, iv := range o.ivs {
-		c.AddRange(iv.Lo, iv.Hi)
-	}
+	c.UnionInPlace(o)
 	return c
 }
 
-// UnionInPlace adds every interval of o to s.
+// UnionInPlace replaces s with s ∪ o. Small additions take the binary-search
+// insertion path; bulk unions run as one linear merge over pooled scratch,
+// so repeated folds (wing aggregation, epoch summaries) do not go quadratic
+// and do not allocate once the pool is warm.
 func (s *IntervalSet) UnionInPlace(o *IntervalSet) {
-	for _, iv := range o.ivs {
-		s.AddRange(iv.Lo, iv.Hi)
+	if s == o || len(o.ivs) == 0 {
+		return
 	}
+	switch {
+	case len(s.ivs) == 0:
+		s.CopyFrom(o)
+	case len(o.ivs) == 1:
+		s.AddRange(o.ivs[0].Lo, o.ivs[0].Hi)
+	default:
+		dst := getBacking(len(s.ivs) + len(o.ivs))
+		dst = mergeUnion(dst, s.ivs, o.ivs)
+		s.adoptSorted(dst)
+	}
+}
+
+// MergeInto folds s into dst (dst ∪= s) with the same linear-merge kernel as
+// UnionInPlace. It is the bulk-merge entry point of the sharded Merge paths
+// and the lifeguards' wing folds.
+func (s *IntervalSet) MergeInto(dst *IntervalSet) {
+	dst.UnionInPlace(s)
 }
 
 // Subtract returns a new set holding s − o.
 func (s *IntervalSet) Subtract(o *IntervalSet) *IntervalSet {
 	c := s.Clone()
-	for _, iv := range o.ivs {
-		c.RemoveRange(iv.Lo, iv.Hi)
-	}
+	c.SubtractInPlace(o)
 	return c
+}
+
+// SubtractInPlace replaces s with s − o in one linear sweep over pooled
+// scratch (compare Subtract/RemoveRange loops, which pay a search per
+// removed interval).
+func (s *IntervalSet) SubtractInPlace(o *IntervalSet) {
+	if len(s.ivs) == 0 || len(o.ivs) == 0 {
+		return
+	}
+	if s == o {
+		s.Reset()
+		return
+	}
+	if len(o.ivs) == 1 {
+		s.RemoveRange(o.ivs[0].Lo, o.ivs[0].Hi)
+		return
+	}
+	dst := getBacking(len(s.ivs) + len(o.ivs))
+	j := 0
+	for _, a := range s.ivs {
+		lo := a.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi <= lo {
+			j++
+		}
+		for k := j; k < len(o.ivs) && o.ivs[k].Lo < a.Hi; k++ {
+			b := o.ivs[k]
+			if b.Lo > lo {
+				dst = append(dst, Interval{lo, b.Lo})
+			}
+			if b.Hi > lo {
+				lo = b.Hi
+			}
+			if lo >= a.Hi {
+				break
+			}
+		}
+		if lo < a.Hi {
+			dst = append(dst, Interval{lo, a.Hi})
+		}
+	}
+	s.adoptSorted(dst)
 }
 
 // Intersect returns a new set holding s ∩ o.
@@ -213,7 +466,8 @@ func (s *IntervalSet) Intersect(o *IntervalSet) *IntervalSet {
 		lo := max64(a.Lo, b.Lo)
 		hi := min64(a.Hi, b.Hi)
 		if lo < hi {
-			c.ivs = append(c.ivs, Interval{lo, hi})
+			c.growOne()
+			c.ivs[len(c.ivs)-1] = Interval{lo, hi}
 		}
 		if a.Hi < b.Hi {
 			i++
@@ -221,6 +475,7 @@ func (s *IntervalSet) Intersect(o *IntervalSet) *IntervalSet {
 			j++
 		}
 	}
+	c.norm()
 	return c
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package sets
+
+// raceEnabled reports whether the race detector is compiled in. Alloc-count
+// gates skip under -race (pool instrumentation allocates), and debug poisoning
+// of recycled storage turns on.
+const raceEnabled = true

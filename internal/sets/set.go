@@ -98,6 +98,22 @@ func (s Set) Intersect(o Set) Set {
 	return c
 }
 
+// IntersectInPlace removes from s every element not in o.
+func (s Set) IntersectInPlace(o Set) {
+	for e := range s {
+		if !o.Has(e) {
+			delete(s, e)
+		}
+	}
+}
+
+// Clear removes every element from s, keeping its capacity.
+func (s Set) Clear() {
+	for e := range s {
+		delete(s, e)
+	}
+}
+
 // Intersects reports whether s ∩ o is nonempty without materializing it.
 func (s Set) Intersects(o Set) bool {
 	small, large := s, o

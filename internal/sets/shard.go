@@ -11,7 +11,6 @@ package sets
 // split/merge containers the sharded driver mode (core.Driver.Shards,
 // DESIGN.md §11) builds on.
 
-import "sort"
 //
 // Two partition schemes exist because the two set families index differently:
 //
@@ -179,32 +178,37 @@ func (s *IntervalSet) Split(K int) ShardedIntervals {
 // Merge returns the union of all shards as one plain IntervalSet, coalesced
 // back into maximal intervals — byte-identical to the unsharded set. The
 // shards' intervals are granule-interleaved, so unioning them one AddRange
-// at a time would shift the tail on every insert (quadratic); instead the
-// disjoint pieces are sorted once and coalesced in one linear sweep.
+// at a time would shift the tail on every insert (quadratic); instead each
+// shard's already-sorted run is folded in with one linear coalescing merge
+// over pooled scratch.
 func (si ShardedIntervals) Merge() *IntervalSet {
+	out := NewIntervalSet()
+	si.MergeInto(out)
+	return out
+}
+
+// MergeInto is Merge writing into an existing set, reusing dst's storage.
+// dst's prior contents are discarded.
+func (si ShardedIntervals) MergeInto(dst *IntervalSet) {
 	total := 0
 	for _, s := range si {
 		total += len(s.ivs)
 	}
 	if total == 0 {
-		return NewIntervalSet()
+		dst.Reset()
+		return
 	}
-	all := make([]Interval, 0, total)
+	acc := getBacking(total)
+	scratch := getBacking(total)
 	for _, s := range si {
-		all = append(all, s.ivs...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Lo < all[j].Lo })
-	out := make([]Interval, 0, total)
-	for _, iv := range all {
-		if n := len(out); n > 0 && iv.Lo <= out[n-1].Hi {
-			if iv.Hi > out[n-1].Hi {
-				out[n-1].Hi = iv.Hi
-			}
+		if len(s.ivs) == 0 {
 			continue
 		}
-		out = append(out, iv)
+		scratch = mergeUnion(scratch[:0], acc, s.ivs)
+		acc, scratch = scratch, acc
 	}
-	return &IntervalSet{ivs: out}
+	putBacking(scratch)
+	dst.adoptSorted(acc)
 }
 
 // NumIntervals returns the total interval count across shards (the sharded

@@ -68,7 +68,7 @@ func writeEvent(bw *bufio.Writer, buf *[binary.MaxVarintLen64]byte, e Event) err
 }
 
 // readEvent decodes one event written by writeEvent.
-func readEvent(br *bufio.Reader) (Event, error) {
+func readEvent(br io.ByteReader) (Event, error) {
 	var e Event
 	kb, err := br.ReadByte()
 	if err != nil {

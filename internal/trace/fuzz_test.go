@@ -81,8 +81,39 @@ func streamSeed(t interface{ Fatal(args ...any) }) []byte {
 	return buf.Bytes()
 }
 
+// pooledStreamSeed builds a stream whose row sizes swing between epochs —
+// a wide row, then an all-empty row, then wide again — so the pooled
+// decode path (NextEpochInto over reused backings) shrinks and regrows
+// its buffers instead of walking a monotone size.
+func pooledStreamSeed(t interface{ Fatal(args ...any) }) []byte {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]Event, 9)
+	for i := range big {
+		big[i] = Event{Kind: Write, Addr: uint64(0x200 + 8*i), Size: 8}
+	}
+	rows := [][][]Event{
+		{big, {{Kind: Read, Addr: 0x100, Size: 8}}},
+		{{}, {}}, // zero-length rows: every thread empty
+		{{{Kind: Free, Addr: 0x200, Size: 8}}, big},
+	}
+	for _, row := range rows {
+		if err := sw.WriteEpoch(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func FuzzStreamReader(f *testing.F) {
 	f.Add(streamSeed(f))
+	f.Add(pooledStreamSeed(f))
 	f.Add([]byte(streamMagic))
 	f.Add(append([]byte(streamMagic), 0x02, 0x01, 0x00))
 	f.Add([]byte{})
@@ -134,6 +165,39 @@ func FuzzStreamReader(f *testing.F) {
 		}
 		if !reflect.DeepEqual(sr2.Global(), sr.Global()) {
 			t.Fatal("round trip changed the ground truth")
+		}
+		// Pooled-path differential: NextEpochInto with reused, deliberately
+		// dirty buffers must yield exactly the rows the allocating path
+		// produced. Stale capacity showing through (the pooled server decode
+		// bug class) makes the comparison fail on poison events.
+		sr3, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("pooled re-decode header failed: %v", err)
+		}
+		poison := Event{Kind: 0xFF, Addr: 0xdead_dead_dead_dead}
+		into := make([][]Event, sr3.NumThreads())
+		for t2 := range into {
+			into[t2] = make([]Event, 0, 4)
+		}
+		for i := 0; ; i++ {
+			for t2 := range into {
+				spare := into[t2][:cap(into[t2])]
+				for j := range spare {
+					spare[j] = poison
+				}
+				into[t2] = spare[:0]
+			}
+			row, err := sr3.NextEpochInto(into)
+			if err != nil {
+				if err != io.EOF || i != len(rows) {
+					t.Fatalf("pooled decode diverged at epoch %d: %v (allocating path read %d epochs)", i, err, len(rows))
+				}
+				break
+			}
+			if !rowsEqual(row, rows[i]) {
+				t.Fatalf("pooled decode changed epoch %d", i)
+			}
+			copy(into, row) // keep reusing the (possibly grown) backings
 		}
 	})
 }

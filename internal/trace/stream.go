@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -130,33 +129,68 @@ func EncodeEpochRow(w io.Writer, row [][]Event) error {
 // so a frame with trailing garbage is rejected rather than silently
 // truncated. Truncation errors match errors.Is(err, io.ErrUnexpectedEOF).
 func DecodeEpochRow(data []byte, nthreads int) ([][]Event, error) {
-	br := bufio.NewReader(bytes.NewReader(data))
-	row, err := readEpochBody(br, nthreads, 0)
+	return DecodeEpochRowInto(data, nthreads, nil)
+}
+
+// DecodeEpochRowInto is DecodeEpochRow decoding into into's event backings:
+// into must hold nthreads entries whose slices are reused (and grown as
+// needed) instead of freshly allocated, so a steady-state consumer decodes
+// without allocating. Pass nil to allocate. The returned row aliases into's
+// (possibly regrown) backings.
+func DecodeEpochRowInto(data []byte, nthreads int, into [][]Event) ([][]Event, error) {
+	sc := byteScanner{data: data}
+	row, err := readEpochBody(&sc, nthreads, 0, into)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
+	if sc.off != len(data) {
 		return nil, fmt.Errorf("trace: epoch row has trailing bytes")
 	}
 	return row, nil
 }
 
+// byteScanner is an allocation-free io.ByteReader over a byte slice.
+type byteScanner struct {
+	data []byte
+	off  int
+}
+
+func (s *byteScanner) ReadByte() (byte, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	b := s.data[s.off]
+	s.off++
+	return b, nil
+}
+
 // readEpochBody decodes the body of an epoch frame. epoch only labels
-// errors; pass 0 for standalone rows.
-func readEpochBody(br *bufio.Reader, nthreads, epoch int) ([][]Event, error) {
-	row := make([][]Event, nthreads)
+// errors; pass 0 for standalone rows. A non-nil into (nthreads entries) has
+// its event backings reused for the decoded row.
+func readEpochBody(br io.ByteReader, nthreads, epoch int, into [][]Event) ([][]Event, error) {
+	row := into
+	if row == nil {
+		row = make([][]Event, nthreads)
+	} else if len(row) != nthreads {
+		return nil, fmt.Errorf("trace: epoch %d: row scratch has %d threads, want %d", epoch, len(row), nthreads)
+	}
 	for t := range row {
 		nev, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: epoch %d thread %d count: %w", epoch, t, truncated(err))
 		}
-		// As in ReadBinary, never trust the claimed count for
-		// allocation: grow as data actually arrives.
-		capHint := nev
-		if capHint > 4096 {
-			capHint = 4096
+		var evs []Event
+		if into != nil {
+			evs = row[t][:0]
+		} else {
+			// As in ReadBinary, never trust the claimed count for
+			// allocation: grow as data actually arrives.
+			capHint := nev
+			if capHint > 4096 {
+				capHint = 4096
+			}
+			evs = make([]Event, 0, capHint)
 		}
-		evs := make([]Event, 0, capHint)
 		for i := uint64(0); i < nev; i++ {
 			e, err := readEvent(br)
 			if err != nil {
@@ -245,6 +279,12 @@ func (sr *StreamReader) NumThreads() int { return sr.nthreads }
 // It returns io.EOF after the end frame; a stream truncated before its end
 // frame yields io.ErrUnexpectedEOF instead.
 func (sr *StreamReader) NextEpoch() ([][]Event, error) {
+	return sr.NextEpochInto(nil)
+}
+
+// NextEpochInto is NextEpoch decoding into into's event backings (see
+// DecodeEpochRowInto); pass nil to allocate fresh slices.
+func (sr *StreamReader) NextEpochInto(into [][]Event) ([][]Event, error) {
 	if sr.done {
 		return nil, io.EOF
 	}
@@ -262,7 +302,7 @@ func (sr *StreamReader) NextEpoch() ([][]Event, error) {
 		sr.global = global
 		return nil, io.EOF
 	case frameEpoch:
-		row, err := readEpochBody(sr.br, sr.nthreads, sr.epoch)
+		row, err := readEpochBody(sr.br, sr.nthreads, sr.epoch, into)
 		if err != nil {
 			return nil, err
 		}
