@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz fuzz-smoke test-shards bench bench-obs bench-shards bench-alloc soak serve-bench ci clean
+.PHONY: all build test race vet fmt-check fuzz fuzz-smoke test-shards bench bench-obs bench-obs-smoke bench-shards bench-alloc soak serve-bench ci clean
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fail (and name the offenders) if any file differs from
+# gofmt's output.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
 	$(GO) test -race ./...
@@ -46,7 +52,7 @@ bench-shards:
 # the full-stack allocs/op to compare against BENCH_alloc.json.
 bench-alloc:
 	$(GO) test ./internal/core -count=1 -run TestSteadyStateAllocBudget -v
-	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughput -benchtime 10x -benchmem
+	$(GO) test ./internal/server -run XXX -bench 'BenchmarkServerThroughput$$' -benchtime 10x -benchmem
 
 # The butterflyd differential soak: concurrent sessions (and the
 # connection-killing chaos variant) must match in-process RunStream exactly.
@@ -55,7 +61,7 @@ soak:
 
 # End-to-end server throughput: client encode -> TCP -> decode -> analysis.
 serve-bench:
-	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughput -benchtime 5x -count 2 -benchmem
+	$(GO) test ./internal/server -run XXX -bench 'BenchmarkServerThroughput$$' -benchtime 5x -count 2 -benchmem
 
 # Batch-vs-stream driver microbenchmarks (bytes in, reports out).
 bench:
@@ -67,16 +73,24 @@ bench:
 # (<3%); see EXPERIMENTS.md "Telemetry overhead".
 bench-obs:
 	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 3x -count 3 -benchmem
+	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughputObs -benchtime 5x -count 3 -benchmem
 	$(GO) test ./internal/obs -run XXX -bench . -benchtime 1s -benchmem
 
-# The gate a change must pass before it lands. `race` runs the full test
-# suite (including the butterflyd soak) under the race detector; `soak` and
-# `test-shards` repeat the server and shard differentials explicitly so a
-# cached `race` run cannot mask them, `fuzz-smoke` gives each decoder
-# fuzzer a short budget beyond its checked-in seed corpus, and
-# `bench-alloc` fails the build if the steady-state epoch loop starts
-# allocating again.
-ci: vet build race soak test-shards fuzz-smoke bench-alloc
+# One-iteration pass over the same benchmarks for the CI gate: proves the
+# instrumented paths still run end to end without burning bench minutes.
+bench-obs-smoke:
+	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 1x
+	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughputObs -benchtime 1x
+
+# The gate a change must pass before it lands. `fmt-check` keeps the tree
+# gofmt-clean; `race` runs the full test suite (including the butterflyd
+# soak) under the race detector; `soak` and `test-shards` repeat the server
+# and shard differentials explicitly so a cached `race` run cannot mask
+# them, `fuzz-smoke` gives each decoder fuzzer a short budget beyond its
+# checked-in seed corpus, `bench-alloc` fails the build if the steady-state
+# epoch loop starts allocating again, and `bench-obs-smoke` proves the
+# instrumented driver and server paths still run end to end.
+ci: fmt-check vet build race soak test-shards fuzz-smoke bench-alloc bench-obs-smoke
 
 clean:
 	rm -f core.test server.test cpu.prof mem.prof

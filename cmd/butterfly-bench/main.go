@@ -43,17 +43,23 @@ func main() {
 		seq     = flag.Bool("seq", false, "run the butterfly driver sequentially (deterministic report order)")
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof while the sweeps run")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
 
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if *debugAddr != "" {
 		ds, err := obs.StartDebugServer(*debugAddr, obs.New())
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "butterfly-bench: debug server on http://%s (profile a sweep with: go tool pprof http://%s/debug/pprof/profile?seconds=10)\n",
-			ds.Addr(), ds.Addr())
+		log.Info("debug server listening", "addr", ds.Addr(),
+			"profile_hint", fmt.Sprintf("go tool pprof http://%s/debug/pprof/profile?seconds=10", ds.Addr()))
 	}
 
 	o := bench.DefaultOptions()

@@ -31,8 +31,13 @@
 // With -remote host:port, the analysis runs on a butterflyd server instead
 // of in-process: the trace (batch or -stream) is streamed over TCP epoch by
 // epoch, reports stream back, and a dropped connection resumes from the
-// server's checkpoint (DESIGN.md §10). -remote excludes -trace-out and
-// -compare, which need the in-process driver and the local oracle.
+// server's checkpoint (DESIGN.md §10). -remote excludes -compare, which
+// needs the local oracle. -remote with -trace-out records the client-side
+// spans (dial/handshake, per-epoch sends) stamped with the run's trace ID;
+// when butterflyd runs with -trace-dir, the two files merge into one
+// cross-process timeline (DESIGN.md §13).
+//
+// -log-level/-log-format shape the structured event log on stderr.
 //
 // With -exit-code, the process exits 2 when the analysis produced any
 // reports (and 1 on operational errors, 0 on a clean, report-free run) so
@@ -41,6 +46,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -74,20 +80,24 @@ func main() {
 
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 		stats     = flag.Bool("stats", false, "print an end-of-run metrics summary (epochs/sec, stage p50/p99, peak window)")
-		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto) with one span per (epoch, thread, stage)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto); in-process: one span per (epoch, thread, stage); -remote: dial and send spans, mergeable with the server's trace")
 		progress  = flag.Int("progress", 0, "print a heartbeat to stderr every N epochs (0 = off)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
 
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if *stream {
 		if *text || *compare || *h > 0 {
 			fatalf("-stream cannot be combined with -text, -compare or -h: streamed traces carry neither heartbeats nor ground truth")
 		}
 	}
-	if *remote != "" {
-		if *compare || *traceOut != "" {
-			fatalf("-remote cannot be combined with -compare or -trace-out: both need the in-process driver")
-		}
+	if *remote != "" && *compare {
+		fatalf("-remote cannot be combined with -compare: the oracle needs the in-process driver")
 	}
 	if *shards < 0 {
 		fatalf("-shards must be >= 0")
@@ -125,13 +135,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "butterfly-run: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr())
+		log.Info("debug server listening", "addr", ds.Addr())
 	}
 
 	var tr *trace.Trace
 	var g *epoch.Grid
 	var src core.BlockSource
-	var err error
 	if *stream {
 		sr, err := trace.NewStreamReader(in)
 		if err != nil {
@@ -181,7 +190,16 @@ func main() {
 			Relaxed:   *relaxed,
 			Serial:    *seq,
 			Obs:       reg,
+			Log:       log,
+			Trace:     rec,
 		}, src)
+		if errors.Is(err, client.ErrUnreachable) {
+			// The service never answered: say that plainly instead of
+			// surfacing the last raw dial error.
+			log.Error("butterflyd unreachable: is the server running and the address right?",
+				"addr", *remote, "err", err.Error())
+			os.Exit(1)
+		}
 		if err != nil {
 			fatalf("remote %s: %v", *remote, err)
 		}
@@ -216,7 +234,8 @@ func main() {
 		if err != nil {
 			fatalf("writing %s: %v", *traceOut, err)
 		}
-		fmt.Fprintf(os.Stderr, "butterfly-run: wrote %d spans to %s (open in https://ui.perfetto.dev)\n", rec.NumSpans(), *traceOut)
+		log.Info("trace written", "spans", rec.NumSpans(), "path", *traceOut,
+			"viewer", "https://ui.perfetto.dev")
 	}
 	fmt.Printf("%s: %d threads, %d epochs, %d events → %d reports\n",
 		lg.Name(), nthreads, res.Epochs, res.Events, len(res.Reports))

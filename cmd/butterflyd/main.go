@@ -11,13 +11,22 @@
 //
 // Clients connect with `butterfly-run -remote host:7137 ...`. SIGINT/SIGTERM
 // triggers a graceful drain: no new sessions are admitted and live sessions
-// may finish within -drain-timeout before being force-closed.
+// may finish within -drain-timeout before being force-closed. SIGQUIT dumps
+// every live session's flight recorder to stderr and keeps serving.
+//
+// Observability (DESIGN.md §13): the -debug-addr server exposes /metrics
+// (global and per-session series), /healthz, /sessions (live per-session
+// JSON), /debug/flight?session= (post-mortem rings), /debug/vars and
+// /debug/pprof. -log-level/-log-format shape the structured event log;
+// -trace-dir makes every session write a Chrome trace that merges with the
+// client's -trace-out file via their shared trace ID.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,20 +46,25 @@ func main() {
 		maxEpochs   = flag.Int64("max-session-epochs", 0, "per-session epoch quota (0 = unlimited)")
 		grace       = flag.Duration("grace", 2*time.Minute, "how long a disconnected session's checkpoint is kept resumable")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for live sessions before force-closing")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /sessions, /debug/flight, /debug/vars and /debug/pprof on this address")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text, json")
+		traceDir    = flag.String("trace-dir", "", "write each session's Chrome trace to this directory at eviction")
+		flightDepth = flag.Int("flight-depth", 0, "events per session flight-recorder ring (0 = 256)")
 	)
 	flag.Parse()
 
-	reg := obs.New()
-	if *debugAddr != "" {
-		ds, err := obs.StartDebugServer(*debugAddr, reg)
-		if err != nil {
-			fatalf("%v", err)
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatalf("-trace-dir: %v", err)
 		}
-		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "butterflyd: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr())
 	}
 
+	reg := obs.New()
 	s, err := server.Listen(*addr, server.Config{
 		MaxSessions:      *maxSessions,
 		MaxAnalyze:       *maxAnalyze,
@@ -59,11 +73,34 @@ func main() {
 		MaxSessionEpochs: *maxEpochs,
 		DetachGrace:      *grace,
 		Obs:              reg,
+		Log:              log,
+		TraceDir:         *traceDir,
+		FlightDepth:      *flightDepth,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "butterflyd: listening on %s (max %d sessions)\n", s.Addr(), *maxSessions)
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, reg, s.DebugEndpoints()...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ds.Close()
+		log.Info("debug server listening", "addr", ds.Addr(),
+			"endpoints", "/metrics /healthz /sessions /debug/flight /debug/vars /debug/pprof")
+	}
+	log.Info("butterflyd listening", "addr", s.Addr(), "max_sessions", *maxSessions)
+
+	// SIGQUIT is the live post-mortem: dump every session's flight ring and
+	// keep serving (mirroring the Go runtime's own SIGQUIT spirit, minus the
+	// process exit).
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			s.DumpFlights(os.Stderr)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -74,11 +111,11 @@ func main() {
 	case err := <-served:
 		fatalf("serve: %v", err)
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "butterflyd: %v — draining (up to %v)\n", got, *drain)
+		log.Info("signal received, draining", "signal", got.String(), "timeout", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "butterflyd: drain deadline hit; live connections force-closed\n")
+			log.Warn("drain deadline hit; live connections force-closed")
 		}
 		if err := <-served; err != nil {
 			fatalf("serve: %v", err)
@@ -87,6 +124,7 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "butterflyd: "+format+"\n", args...)
+	// Pre-logger failures (flag validation, bind errors) still need a line.
+	slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("butterflyd: " + fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

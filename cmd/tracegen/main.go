@@ -21,21 +21,29 @@ import (
 	"butterfly/internal/apps"
 	"butterfly/internal/epoch"
 	"butterfly/internal/machine"
+	"butterfly/internal/obs"
 	"butterfly/internal/trace"
 )
 
 func main() {
 	var (
-		appName = flag.String("app", "ocean", "benchmark analog: barnes, fft, fmm, ocean, blackscholes, lu")
-		threads = flag.Int("threads", 4, "application thread count")
-		ops     = flag.Int("ops", 100000, "approximate operations per thread")
-		h       = flag.Int("h", 2048, "epoch size in instructions per thread")
-		skew    = flag.Int("skew", 32, "max heartbeat reception skew in instructions")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		out     = flag.String("o", "", "output file (default stdout)")
-		format  = flag.String("format", "binary", "output format: binary, text or stream")
+		appName   = flag.String("app", "ocean", "benchmark analog: barnes, fft, fmm, ocean, blackscholes, lu")
+		threads   = flag.Int("threads", 4, "application thread count")
+		ops       = flag.Int("ops", 100000, "approximate operations per thread")
+		h         = flag.Int("h", 2048, "epoch size in instructions per thread")
+		skew      = flag.Int("skew", 32, "max heartbeat reception skew in instructions")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+		format    = flag.String("format", "binary", "output format: binary, text or stream")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
@@ -83,8 +91,9 @@ func main() {
 	if err != nil {
 		fatalf("writing trace: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %s ×%d threads: %d events, %d memory accesses, %d cycles, heap peak %d B\n",
-		*appName, *threads, res.Trace.NumEvents(), res.MemAccesses, res.Cycles, res.HeapPeak)
+	log.Info("trace generated", "app", *appName, "threads", *threads,
+		"events", res.Trace.NumEvents(), "mem_accesses", res.MemAccesses,
+		"cycles", res.Cycles, "heap_peak_bytes", res.HeapPeak)
 }
 
 func fatalf(format string, args ...any) {

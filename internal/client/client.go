@@ -15,8 +15,10 @@ package client
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -28,6 +30,13 @@ import (
 	"butterfly/internal/proto"
 	"butterfly/internal/trace"
 )
+
+// ErrUnreachable marks a run that gave up without ever completing a
+// handshake: no Welcome (or definitive Reject) arrived across every
+// attempt, so butterflyd is down, unreachable, or not a butterflyd.
+// Callers match it with errors.Is to distinguish "the service is not
+// there" from a mid-stream failure.
+var ErrUnreachable = errors.New("butterflyd unreachable")
 
 // Options configures a remote run. The zero value is usable for a local
 // addrcheck session.
@@ -55,10 +64,30 @@ type Options struct {
 	// reconnects, bytes out, acks).
 	Obs *obs.Registry
 
+	// Log receives structured connection-lifecycle events. nil → discard.
+	Log *slog.Logger
+
+	// TraceID correlates this run across processes: it rides in the Hello,
+	// and both sides stamp it into their logs and Chrome traces. Empty → a
+	// fresh obs.NewTraceID().
+	TraceID string
+
+	// Trace, when non-nil, records client-side spans (dial/handshake and
+	// per-epoch sends) for Chrome-trace export. Timestamps are wall-clock
+	// anchored, so the file merges with the server's per-session trace
+	// (obs.MergeTraces) into one timeline.
+	Trace *obs.TraceRecorder
+
 	// Dial overrides the transport (tests route through chaos proxies).
 	// nil → net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
 }
+
+// Client-side trace rows.
+const (
+	traceTidConn = 0 // dial + handshake spans
+	traceTidSend = 1 // per-epoch send spans
+)
 
 func (o Options) withDefaults() Options {
 	if o.Lifeguard == "" {
@@ -75,6 +104,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 256
+	}
+	if o.Log == nil {
+		o.Log = obs.DiscardLogger()
+	}
+	if o.TraceID == "" {
+		o.TraceID = obs.NewTraceID()
 	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
@@ -99,11 +134,18 @@ func Run(addr string, opts Options, src core.BlockSource) (*core.Result, error) 
 			}
 		}
 	}
+	if opts.Trace != nil {
+		opts.Trace.SetProcess(1, "butterfly-run → "+addr)
+		opts.Trace.SetMeta("trace_id", opts.TraceID)
+		opts.Trace.SetThreadName(traceTidConn, "connection")
+		opts.Trace.SetThreadName(traceTidSend, "send")
+	}
 	r := &run{
 		addr: addr,
 		opts: opts,
 		src:  src,
 		T:    T,
+		log:  opts.Log.With("trace", opts.TraceID),
 		m: runMetrics{
 			dials:      opts.Obs.Counter("client.dials"),
 			reconnects: opts.Obs.Counter("client.reconnects"),
@@ -133,9 +175,13 @@ type run struct {
 	opts Options
 	src  core.BlockSource
 	T    int
+	log  *slog.Logger
 	m    runMetrics
 
 	session string // resume token, set by the first Welcome
+	// everWelcomed records that at least one handshake completed; a run that
+	// gives up without it failed with ErrUnreachable, not mid-stream.
+	everWelcomed bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled by the reader on acks/errors
@@ -159,6 +205,7 @@ type run struct {
 func (r *run) run() (*core.Result, error) {
 	r.cond = sync.NewCond(&r.mu)
 	r.acked = -1
+	started := time.Now()
 	failures := 0
 	for {
 		progress, err := r.attempt()
@@ -173,7 +220,15 @@ func (r *run) run() (*core.Result, error) {
 		} else {
 			failures++
 		}
+		if err != nil {
+			r.log.Warn("connection attempt failed", "addr", r.addr,
+				"consecutive_failures", failures, "err", err.Error())
+		}
 		if failures > r.opts.MaxRetries {
+			if !r.everWelcomed {
+				return nil, fmt.Errorf("client: %w: %s refused %d consecutive attempts over %v: %w",
+					ErrUnreachable, r.addr, failures, time.Since(started).Round(time.Millisecond), err)
+			}
 			return nil, fmt.Errorf("client: giving up after %d consecutive failed attempts: %w",
 				failures, err)
 		}
@@ -207,6 +262,7 @@ func (r *run) finished() bool {
 func (r *run) attempt() (progress bool, err error) {
 	ackedBefore := r.ackedNow()
 
+	dialStart := time.Now()
 	conn, err := r.opts.Dial(r.addr)
 	if err != nil {
 		return false, fmt.Errorf("client: dial %s: %w", r.addr, err)
@@ -225,6 +281,7 @@ func (r *run) attempt() (progress bool, err error) {
 		NumThreads: r.T,
 		Resume:     r.session,
 		AckedEpoch: ackedBefore,
+		TraceID:    r.opts.TraceID,
 	}
 	if err := proto.WriteJSON(bw, proto.FrameHello, hello); err != nil {
 		return false, err
@@ -236,7 +293,17 @@ func (r *run) attempt() (progress bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	r.opts.Trace.Span(traceTidConn, "dial+handshake", dialStart, time.Since(dialStart), -1)
+	resumed := r.everWelcomed
+	r.everWelcomed = true
 	r.session = welcome.Session
+	if resumed {
+		r.log.Info("session resumed", "session", shortSession(welcome.Session),
+			"next_epoch", welcome.NextEpoch)
+	} else {
+		r.log.Info("session open", "session", shortSession(welcome.Session),
+			"lifeguard", r.opts.Lifeguard, "threads", r.T, "shards", welcome.Shards)
+	}
 
 	// Epochs below NextEpoch are checkpointed server-side: drop them from
 	// the replay buffer (but leave r.acked alone — see its doc comment).
@@ -414,7 +481,7 @@ func (r *run) sendLoop(bw *bufio.Writer) error {
 	replay := append([]pendingEpoch(nil), r.pending...)
 	r.mu.Unlock()
 	for _, pe := range replay {
-		if err := r.sendEpoch(bw, pe.payload); err != nil {
+		if err := r.sendEpoch(bw, pe.num, pe.payload); err != nil {
 			return err
 		}
 		r.m.replayed.Inc()
@@ -446,7 +513,7 @@ func (r *run) sendLoop(bw *bufio.Writer) error {
 		r.pending = append(r.pending, pendingEpoch{num: r.epochs, payload: payload})
 		r.mu.Unlock()
 		r.epochs++
-		if err := r.sendEpoch(bw, payload); err != nil {
+		if err := r.sendEpoch(bw, r.epochs-1, payload); err != nil {
 			return err
 		}
 	}
@@ -470,15 +537,26 @@ func (r *run) stalled() error {
 	return r.connErr
 }
 
-func (r *run) sendEpoch(bw *bufio.Writer, payload []byte) error {
+func (r *run) sendEpoch(bw *bufio.Writer, num int, payload []byte) error {
+	start := time.Now()
 	if err := proto.WriteFrame(bw, proto.FrameEpoch, payload); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
+	r.opts.Trace.Span(traceTidSend, "send-epoch", start, time.Since(start), num)
 	r.m.bytesOut.Add(int64(len(payload)) + 5)
 	return nil
+}
+
+// shortSession trims a session token to its 12-hex-digit log label — the
+// same label butterflyd uses, so one grep follows both sides.
+func shortSession(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
 }
 
 // encodeRow converts one block row into an Epoch frame payload.

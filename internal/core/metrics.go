@@ -45,9 +45,9 @@ var stageNames = [numStages]string{"first-pass", "second-pass", "sos-update", "d
 // sharded runs — shard task k gets row T+2+k.
 const tidDriver = 0
 
-func tidWorker(t int) int     { return t + 1 }
-func tidDecoder(T int) int    { return T + 1 }
-func tidShard(T, k int) int   { return T + 2 + k }
+func tidWorker(t int) int   { return t + 1 }
+func tidDecoder(T int) int  { return T + 1 }
+func tidShard(T, k int) int { return T + 2 + k }
 
 // driverMetrics caches the handles a run reports into.
 type driverMetrics struct {

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a fixed-depth ring buffer of the most recent events of
+// one session — the "black box" that makes post-mortems possible without
+// always-on tracing. The server records one event per epoch tick plus any
+// errors; when a session dies (quota abort, protocol error, SIGQUIT dump)
+// the last N events name exactly which epochs it was processing and how
+// long each took.
+//
+// Record is alloc-free on the hot path (pass Detail "" for epoch ticks):
+// one short mutex hold writing into a preallocated slot. A nil
+// *FlightRecorder ignores all calls, so the recorder can be threaded
+// unconditionally.
+
+// FlightKind classifies a flight-recorder event.
+type FlightKind uint8
+
+const (
+	// FlightEpoch is one epoch tick: Epoch, DurNs (full service time) and
+	// WaitNs (worker-slot backpressure wait) are set.
+	FlightEpoch FlightKind = iota
+	// FlightError is a session-fatal condition; Detail holds the error text.
+	FlightError
+	// FlightNote is a lifecycle marker (accepted, resumed, detached,
+	// finished); Detail holds the note.
+	FlightNote
+)
+
+// String returns the lowercase kind name.
+func (k FlightKind) String() string {
+	switch k {
+	case FlightEpoch:
+		return "epoch"
+	case FlightError:
+		return "error"
+	case FlightNote:
+		return "note"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText makes kinds render as their names in JSON dumps.
+func (k FlightKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText accepts the names MarshalText produces, so dumps decode
+// back into FlightEvents (tests, offline tooling).
+func (k *FlightKind) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "epoch":
+		*k = FlightEpoch
+	case "error":
+		*k = FlightError
+	case "note":
+		*k = FlightNote
+	default:
+		return fmt.Errorf("obs: unknown flight kind %q", s)
+	}
+	return nil
+}
+
+// FlightEvent is one slot of the ring.
+type FlightEvent struct {
+	Kind   FlightKind `json:"kind"`
+	Epoch  int        `json:"epoch,omitempty"`
+	TNs    int64      `json:"t_ns"`              // nanoseconds since the recorder started
+	DurNs  int64      `json:"dur_ns,omitempty"`  // epoch service time
+	WaitNs int64      `json:"wait_ns,omitempty"` // backpressure (worker-slot) wait
+	Detail string     `json:"detail,omitempty"`  // error text / lifecycle note; "" on the hot path
+}
+
+// defaultFlightDepth is the ring size when the caller passes depth ≤ 0.
+const defaultFlightDepth = 256
+
+// FlightRecorder — see the package comment above. The zero value is not
+// usable; construct with NewFlightRecorder.
+type FlightRecorder struct {
+	mu  sync.Mutex
+	t0  time.Time
+	buf []FlightEvent // preallocated ring, len == depth
+	n   uint64        // total events ever recorded; slot = (n-1) % depth
+}
+
+// NewFlightRecorder returns a recorder holding the last depth events
+// (depth ≤ 0 selects the default of 256).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = defaultFlightDepth
+	}
+	return &FlightRecorder{t0: time.Now(), buf: make([]FlightEvent, depth)}
+}
+
+// Record appends one event, overwriting the oldest when the ring is full.
+// Alloc-free when detail is "" (the per-epoch hot path).
+func (f *FlightRecorder) Record(kind FlightKind, epoch int, dur, wait time.Duration, detail string) {
+	if f == nil {
+		return
+	}
+	t := time.Since(f.t0).Nanoseconds()
+	f.mu.Lock()
+	slot := &f.buf[f.n%uint64(len(f.buf))]
+	f.n++
+	slot.Kind = kind
+	slot.Epoch = epoch
+	slot.TNs = t
+	slot.DurNs = dur.Nanoseconds()
+	slot.WaitNs = wait.Nanoseconds()
+	slot.Detail = detail
+	f.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ depth).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n < uint64(len(f.buf)) {
+		return int(f.n)
+	}
+	return len(f.buf)
+}
+
+// Total returns the number of events ever recorded (including overwritten
+// ones) — with Len it tells how much history the ring has dropped.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Snapshot returns the held events oldest → newest.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	depth := uint64(len(f.buf))
+	held := f.n
+	if held > depth {
+		held = depth
+	}
+	out := make([]FlightEvent, held)
+	for i := uint64(0); i < held; i++ {
+		out[i] = f.buf[(f.n-held+i)%depth]
+	}
+	return out
+}
+
+// WriteJSON dumps the ring as {"total":N,"events":[oldest…newest]} — the
+// body of /debug/flight?session= and of the SIGQUIT dump.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	snap := f.Snapshot()
+	if snap == nil {
+		snap = []FlightEvent{}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{
+		"total":  f.Total(),
+		"events": snap,
+	})
+}
+
+// Tail renders the last k events as one compact line ("epoch 41 1.2ms;
+// epoch 42 1.1ms; error: quota") for embedding in a structured-log attr
+// when a session aborts.
+func (f *FlightRecorder) Tail(k int) string {
+	snap := f.Snapshot()
+	if len(snap) == 0 {
+		return "(empty)"
+	}
+	if k > 0 && len(snap) > k {
+		snap = snap[len(snap)-k:]
+	}
+	var b strings.Builder
+	for i, ev := range snap {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		switch ev.Kind {
+		case FlightEpoch:
+			fmt.Fprintf(&b, "epoch %d %s", ev.Epoch, time.Duration(ev.DurNs).Round(time.Microsecond))
+		default:
+			fmt.Fprintf(&b, "%s: %s", ev.Kind, ev.Detail)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderWrapsRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightEpoch, i, time.Duration(i)*time.Millisecond, 0, "")
+	}
+	if got := f.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := f.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4 (ring depth)", got)
+	}
+	evs := f.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(evs))
+	}
+	// Oldest → newest: epochs 6, 7, 8, 9 survive.
+	for i, ev := range evs {
+		if want := 6 + i; ev.Epoch != want {
+			t.Errorf("event %d epoch = %d, want %d", i, ev.Epoch, want)
+		}
+		if ev.Kind != FlightEpoch {
+			t.Errorf("event %d kind = %v, want epoch", i, ev.Kind)
+		}
+	}
+	if evs[0].TNs > evs[3].TNs {
+		t.Errorf("timestamps not monotonic: %d > %d", evs[0].TNs, evs[3].TNs)
+	}
+}
+
+func TestFlightRecorderKindsAndJSON(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(FlightEpoch, 3, 2*time.Millisecond, 100*time.Microsecond, "")
+	f.Record(FlightError, -1, 0, 0, "quota: byte quota exceeded")
+	f.Record(FlightNote, 4, 0, 0, "finished")
+
+	var sb strings.Builder
+	if err := f.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump struct {
+		Total  uint64        `json:"total"`
+		Events []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &dump); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, sb.String())
+	}
+	if dump.Total != 3 || len(dump.Events) != 3 {
+		t.Fatalf("dump total=%d events=%d, want 3/3", dump.Total, len(dump.Events))
+	}
+	if dump.Events[0].Kind != FlightEpoch || dump.Events[0].DurNs != int64(2*time.Millisecond) {
+		t.Errorf("epoch event mangled: %+v", dump.Events[0])
+	}
+	if dump.Events[1].Kind != FlightError || !strings.Contains(dump.Events[1].Detail, "quota") {
+		t.Errorf("error event mangled: %+v", dump.Events[1])
+	}
+	// Kinds marshal as their names, not raw uint8s.
+	if !strings.Contains(sb.String(), `"kind":"error"`) {
+		t.Errorf("JSON lacks textual kind: %s", sb.String())
+	}
+}
+
+func TestFlightRecorderTail(t *testing.T) {
+	f := NewFlightRecorder(8)
+	if got := f.Tail(4); got != "(empty)" {
+		t.Errorf("empty Tail = %q", got)
+	}
+	f.Record(FlightEpoch, 41, 1200*time.Microsecond, 0, "")
+	f.Record(FlightError, -1, 0, 0, "quota exceeded")
+	got := f.Tail(4)
+	if !strings.Contains(got, "epoch 41") || !strings.Contains(got, "error") ||
+		!strings.Contains(got, "quota exceeded") {
+		t.Errorf("Tail = %q, want epoch 41 and the error detail", got)
+	}
+	// Tail(1) keeps only the newest event.
+	if got := f.Tail(1); strings.Contains(got, "epoch 41") {
+		t.Errorf("Tail(1) = %q, want only the newest event", got)
+	}
+}
+
+func TestFlightRecorderNilAndDefaults(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEpoch, 0, 0, 0, "")
+	if f.Len() != 0 || f.Total() != 0 || f.Snapshot() != nil {
+		t.Error("nil recorder not inert")
+	}
+	if got := f.Tail(3); got != "(empty)" {
+		t.Errorf("nil Tail = %q", got)
+	}
+	if d := NewFlightRecorder(0); cap(d.buf) != defaultFlightDepth {
+		t.Errorf("default depth = %d, want %d", cap(d.buf), defaultFlightDepth)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(FlightEpoch, i, 0, 0, "")
+				if i%50 == 0 {
+					f.Snapshot()
+					f.Tail(4)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Total(); got != 800 {
+		t.Errorf("Total = %d, want 800", got)
+	}
+	if got := f.Len(); got != 16 {
+		t.Errorf("Len = %d, want 16", got)
+	}
+}

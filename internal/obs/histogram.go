@@ -16,34 +16,38 @@ const numBuckets = 64
 // power-of-two bucket bounds. Recording is wait-free (three atomic adds
 // plus a CAS max); reads are approximate under concurrent writes, which is
 // fine for monitoring. The zero value is ready to use; a nil *Histogram
-// ignores writes and reads as zero.
+// ignores writes and reads as zero. A histogram resolved through a scoped
+// registry chains to its parent: one ObserveInt records into the scoped
+// series and every enclosing aggregate.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	max     atomic.Int64
 	buckets [numBuckets]atomic.Int64
+	parent  *Histogram
 }
 
 // Observe records a duration (negative durations clamp to zero).
 func (h *Histogram) Observe(d time.Duration) { h.ObserveInt(int64(d)) }
 
-// ObserveInt records a value (negative values clamp to zero).
+// ObserveInt records a value (negative values clamp to zero) into h and
+// its scope parents.
 func (h *Histogram) ObserveInt(v int64) {
-	if h == nil {
-		return
-	}
 	if v < 0 {
 		v = 0
 	}
-	h.count.Add(1)
-	h.sum.Add(v)
-	for {
-		cur := h.max.Load()
-		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			break
+	bucket := bits.Len64(uint64(v))
+	for ; h != nil; h = h.parent {
+		h.count.Add(1)
+		h.sum.Add(v)
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
 		}
+		h.buckets[bucket].Add(1)
 	}
-	h.buckets[bits.Len64(uint64(v))].Add(1)
 }
 
 // Count returns the number of observations.
@@ -86,7 +90,44 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
 	}
-	n := h.count.Load()
+	var counts [numBuckets]int64
+	n := h.snapshotBuckets(&counts)
+	return quantileFromBuckets(&counts, n, h.max.Load(), q)
+}
+
+// Quantiles computes several quantiles (e.g. p50/p95/p99) from one
+// consistent snapshot of the bucket counts — the helper behind the
+// /sessions latency columns and Snapshot. Returns one upper bound per q,
+// in order; all zeros on a nil or empty histogram.
+func (h *Histogram) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if h == nil {
+		return out
+	}
+	var counts [numBuckets]int64
+	n := h.snapshotBuckets(&counts)
+	max := h.max.Load()
+	for i, q := range qs {
+		out[i] = quantileFromBuckets(&counts, n, max, q)
+	}
+	return out
+}
+
+// snapshotBuckets copies the bucket counts into counts and returns their
+// sum — the observation count as of the snapshot, self-consistent even
+// under concurrent writes (unlike pairing h.count with live bucket reads).
+func (h *Histogram) snapshotBuckets(counts *[numBuckets]int64) int64 {
+	var n int64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		n += c
+	}
+	return n
+}
+
+// quantileFromBuckets is the shared rank walk over a bucket snapshot.
+func quantileFromBuckets(counts *[numBuckets]int64, n, max int64, q float64) int64 {
 	if n == 0 {
 		return 0
 	}
@@ -99,21 +140,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 	}
 	var cum int64
 	for i := 0; i < numBuckets; i++ {
-		cum += h.buckets[i].Load()
+		cum += counts[i]
 		if cum >= rank {
 			var hi int64
-			if i == 0 {
-				hi = 0
-			} else {
+			if i > 0 {
 				hi = int64(1)<<uint(i) - 1
 			}
-			if m := h.max.Load(); hi > m {
-				hi = m
+			if hi > max {
+				hi = max
 			}
 			return hi
 		}
 	}
-	return h.max.Load()
+	return max
 }
 
 // Buckets returns the non-cumulative bucket counts along with each

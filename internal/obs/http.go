@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"time"
 )
 
 // promNamespace prefixes every exposed metric name.
@@ -48,24 +50,50 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	})
 }
 
-// expvarOnce guards expvar.Publish, which panics on duplicate names. Only
-// the first registry of the process is exported under "butterfly"; debug
-// servers for later registries still serve /metrics correctly.
-var expvarOnce sync.Once
+// expvar.Publish panics on duplicate names, and one process can hold
+// several root registries (a server and a client side by side, or tests
+// starting many debug servers). Each root registry is published exactly
+// once: the first under "butterfly", later ones under "butterfly2",
+// "butterfly3", … so no registry's /debug/vars view is silently dropped
+// (the pre-scope code published only the first and ignored the rest).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[*Registry]string{}
+)
 
-// publishExpvar exposes the registry's Snapshot under the "butterfly"
-// expvar, alongside the runtime's memstats on /debug/vars.
+// publishExpvar exposes the registry's Snapshot on /debug/vars under this
+// process's next free "butterfly*" name, alongside the runtime's memstats.
+// Idempotent per root registry; scopes publish their root.
 func (r *Registry) publishExpvar() {
 	if r == nil {
 		return
 	}
-	expvarOnce.Do(func() {
-		expvar.Publish(promNamespace, expvar.Func(func() any { return r.Snapshot() }))
-	})
+	base := r.base()
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, done := expvarPublished[base]; done {
+		return
+	}
+	name := promNamespace
+	if n := len(expvarPublished); n > 0 {
+		name = fmt.Sprintf("%s%d", promNamespace, n+1)
+	}
+	expvarPublished[base] = name
+	expvar.Publish(name, expvar.Func(func() any { return base.Snapshot() }))
+}
+
+// Endpoint attaches an extra handler to a debug server — how butterflyd
+// mounts its /sessions and /debug/flight introspection endpoints. An extra
+// endpoint whose pattern collides with a built-in (e.g. /healthz) replaces
+// the built-in.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // DebugServer is the -debug-addr HTTP server: /metrics (Prometheus text),
-// /debug/vars (expvar) and /debug/pprof/* (CPU, heap, goroutine, ...).
+// /healthz (liveness JSON), /debug/vars (expvar) and /debug/pprof/* (CPU,
+// heap, goroutine, ...), plus any Endpoint extras.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -74,18 +102,36 @@ type DebugServer struct {
 // StartDebugServer serves the debug endpoints for reg on addr (e.g.
 // "localhost:6060"; ":0" picks a free port — see Addr). It returns as soon
 // as the listener is bound; the server runs until Close.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+func StartDebugServer(addr string, reg *Registry, extra ...Endpoint) (*DebugServer, error) {
 	reg.publishExpvar()
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	taken := map[string]bool{}
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+		taken[e.Pattern] = true
+	}
+	handle := func(pattern string, h http.HandlerFunc) {
+		if !taken[pattern] {
+			mux.HandleFunc(pattern, h)
+		}
+	}
+	handle("/debug/vars", expvar.Handler().ServeHTTP)
+	handle("/debug/pprof/", pprof.Index)
+	handle("/debug/pprof/cmdline", pprof.Cmdline)
+	handle("/debug/pprof/profile", pprof.Profile)
+	handle("/debug/pprof/symbol", pprof.Symbol)
+	handle("/debug/pprof/trace", pprof.Trace)
+	handle("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		reg.WritePrometheus(w)
+	})
+	handle("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := map[string]any{"status": "ok"}
+		if start := reg.Start(); !start.IsZero() {
+			st["uptime_s"] = time.Since(start).Seconds()
+		}
+		json.NewEncoder(w).Encode(st) //nolint:errcheck // best-effort health answer
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the full exposition for a small registry:
+// exact lines, exact order (Each sorts by name), name mangling, cumulative
+// le buckets with _sum/_count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("driver.epochs").Add(3)
+	reg.Counter("reports.addrcheck.double-alloc").Inc()
+	reg.Gauge("window/events").Set(12)
+	h := reg.Histogram("stage.ns")
+	h.ObserveInt(1) // bucket le=1
+	h.ObserveInt(1)
+	h.ObserveInt(100) // bucket le=127
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	want := strings.Join([]string{
+		"# TYPE butterfly_driver_epochs counter",
+		"butterfly_driver_epochs 3",
+		"# TYPE butterfly_reports_addrcheck_double_alloc counter",
+		"butterfly_reports_addrcheck_double_alloc 1",
+		"# TYPE butterfly_stage_ns histogram",
+		`butterfly_stage_ns_bucket{le="1"} 2`,
+		`butterfly_stage_ns_bucket{le="127"} 3`,
+		`butterfly_stage_ns_bucket{le="+Inf"} 3`,
+		"butterfly_stage_ns_sum 102",
+		"butterfly_stage_ns_count 3",
+		"# TYPE butterfly_window_events gauge",
+		"butterfly_window_events 12",
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusScopedSeries(t *testing.T) {
+	reg := New()
+	sc := reg.Scope(SessionScopePrefix + "abc123def456.")
+	sc.Counter("server.bytes_in").Add(9)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "butterfly_session_abc123def456_server_bytes_in 9") {
+		t.Errorf("per-session series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "\nbutterfly_server_bytes_in 9\n") {
+		t.Errorf("chained global series missing:\n%s", out)
+	}
+
+	sc.Drop()
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "abc123def456") {
+		t.Errorf("dropped session still exposed:\n%s", sb.String())
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("httptest.sentinel.alpha").Add(7)
+	ds, err := StartDebugServer("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "butterfly_httptest_sentinel_alpha 7") {
+		t.Errorf("/metrics = %d\n%s", code, body)
+	}
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	var health struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" || health.UptimeS < 0 {
+		t.Errorf("/healthz = %+v", health)
+	}
+	code, body = getBody(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "httptest.sentinel.alpha") {
+		t.Errorf("/debug/vars = %d, missing sentinel\n%.500s", code, body)
+	}
+}
+
+func TestDebugServerExtraEndpointsOverride(t *testing.T) {
+	reg := New()
+	ds, err := StartDebugServer("localhost:0", reg,
+		Endpoint{Pattern: "/sessions", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, `{"sessions":[]}`)
+		})},
+		Endpoint{Pattern: "/healthz", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, `{"status":"custom"}`)
+		})},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	if _, body := getBody(t, base+"/sessions"); body != `{"sessions":[]}` {
+		t.Errorf("/sessions = %q", body)
+	}
+	// The extra /healthz replaces the built-in rather than panicking the mux.
+	if _, body := getBody(t, base+"/healthz"); body != `{"status":"custom"}` {
+		t.Errorf("overridden /healthz = %q", body)
+	}
+	if code, _ := getBody(t, base+"/metrics"); code != http.StatusOK {
+		t.Errorf("built-in /metrics lost: %d", code)
+	}
+}
+
+// TestExpvarMultiRegistry: two root registries in one process both publish —
+// the first as "butterfly", the second as "butterfly2…N" — instead of the
+// second being silently dropped by expvar's duplicate-name panic guard.
+func TestExpvarMultiRegistry(t *testing.T) {
+	regA := New()
+	regA.Counter("expvartest.unique.first").Add(11)
+	regB := New()
+	regB.Counter("expvartest.unique.second").Add(22)
+
+	dsA, err := StartDebugServer("localhost:0", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dsA.Close()
+	dsB, err := StartDebugServer("localhost:0", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dsB.Close()
+	// Re-publishing the same registry is idempotent.
+	dsC, err := StartDebugServer("localhost:0", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dsC.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, body := getBody(t, "http://"+dsA.Addr()+"/debug/vars")
+		if strings.Contains(body, "expvartest.unique.first") &&
+			strings.Contains(body, "expvartest.unique.second") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/vars lacks both registries' sentinels:\n%.1000s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

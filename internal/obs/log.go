@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the butterfly binaries. Every cmd exposes the
+// same pair of flags (-log-level, -log-format) and builds its logger with
+// NewLogger; libraries (internal/server, internal/client) take a
+// *slog.Logger in their config and fall back to DiscardLogger, so the
+// uninstrumented path pays only a disabled-level check per call site.
+//
+// Convention for attribute keys, shared by server and client so one grep
+// (or one log-pipeline query) follows a session across both processes:
+//
+//	session   short session id (the first 12 hex digits of the token)
+//	trace     the cross-process trace ID from the Hello handshake
+//	epoch     epoch/tick number
+//	lifeguard lifeguard name
+//	err       error text
+
+// NewLogger builds a slog.Logger writing to w. level is "debug", "info"
+// (default), "warn" or "error"; format is "text" (human-oriented logfmt,
+// default) or "json" (one object per line, for log pipelines).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// discardLevel sits above every slog level, so a DiscardLogger rejects
+// records before any formatting happens.
+const discardLevel = slog.Level(127)
+
+// DiscardLogger returns a logger that drops everything — the default for
+// libraries whose caller did not wire logging up. Handlers reject records
+// at the level check, so call sites cost one predictable branch.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: discardLevel}))
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	cases := []struct {
+		level   string
+		debugIn bool // is a Debug record emitted?
+		infoIn  bool
+	}{
+		{"", false, true},
+		{"info", false, true},
+		{"debug", true, true},
+		{"warn", false, false},
+		{"warning", false, false},
+		{"error", false, false},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		log, err := NewLogger(&sb, c.level, "text")
+		if err != nil {
+			t.Fatalf("NewLogger(%q): %v", c.level, err)
+		}
+		log.Debug("dbgmark")
+		log.Info("infomark")
+		log.Error("errmark")
+		out := sb.String()
+		if got := strings.Contains(out, "dbgmark"); got != c.debugIn {
+			t.Errorf("level %q: debug emitted = %v, want %v", c.level, got, c.debugIn)
+		}
+		if got := strings.Contains(out, "infomark"); got != c.infoIn {
+			t.Errorf("level %q: info emitted = %v, want %v", c.level, got, c.infoIn)
+		}
+		if !strings.Contains(out, "errmark") {
+			t.Errorf("level %q: error suppressed", c.level)
+		}
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "session", "abc123")
+	if out := sb.String(); !strings.Contains(out, `"msg":"hello"`) || !strings.Contains(out, `"session":"abc123"`) {
+		t.Errorf("json output = %q", out)
+	}
+	sb.Reset()
+	log, err = NewLogger(&sb, "info", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello")
+	if out := sb.String(); !strings.Contains(out, "msg=hello") {
+		t.Errorf("default/text output = %q", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(&strings.Builder{}, "loud", "text"); err == nil ||
+		!strings.Contains(err.Error(), "loud") {
+		t.Errorf("bad level error = %v", err)
+	}
+	if _, err := NewLogger(&strings.Builder{}, "info", "xml"); err == nil ||
+		!strings.Contains(err.Error(), "xml") {
+		t.Errorf("bad format error = %v", err)
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	log := DiscardLogger()
+	if log == nil {
+		t.Fatal("DiscardLogger returned nil")
+	}
+	// Must be inert at every level, including explicit high-level records.
+	log.Error("nothing")
+	log.Log(nil, slog.Level(100), "still nothing") //nolint:staticcheck // nil ctx fine for slog
+	if log.Enabled(nil, slog.LevelError) {
+		t.Error("DiscardLogger claims Error is enabled")
+	}
+}

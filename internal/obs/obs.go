@@ -1,9 +1,12 @@
-// Package obs is the telemetry layer of the butterfly drivers: a
-// lock-cheap metrics registry (atomic counters, gauges and fixed-bucket
-// latency histograms), a Chrome trace-event recorder that makes the
-// pipelined F(l) ∥ S(l−1) ∥ SOS overlap visible in Perfetto, a debug HTTP
-// server (Prometheus text + expvar + net/http/pprof), a progress heartbeat
-// and an end-of-run summary table.
+// Package obs is the telemetry layer of the butterfly drivers and of
+// butterflyd: a lock-cheap metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms) with per-session child scopes, a Chrome
+// trace-event recorder that makes the pipelined F(l) ∥ S(l−1) ∥ SOS overlap
+// visible in Perfetto and correlates client and server traces by trace ID,
+// a structured (log/slog) logger factory, a per-session flight recorder for
+// post-mortems, a debug HTTP server (Prometheus text + expvar +
+// net/http/pprof + JSON health/introspection endpoints), a progress
+// heartbeat and an end-of-run summary table.
 //
 // Everything is designed so that *absence* of instrumentation costs
 // (almost) nothing: every method on *Registry, *Counter, *Gauge,
@@ -21,6 +24,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,20 +88,34 @@ const (
 	MetricServerBytesIn     = "server.bytes_in"           // wire bytes received across all sessions
 	MetricServerFramesIn    = "server.frames_in"          // frames received across all sessions
 	MetricServerReportsOut  = "server.reports_out"        // reports streamed back to clients
+
+	// Per-epoch service latencies (histograms, DESIGN.md §13). Both exist
+	// globally and — through per-session scopes — per session.
+	MetricServerFeedNs        = "server.feed.ns"         // wall time of one epoch tick incl. worker-slot wait
+	MetricServerAcquireWaitNs = "server.acquire_wait.ns" // worker-slot (backpressure) wait per epoch tick
+
+	// SessionScopePrefix + <short session id> + "." prefixes every metric of
+	// one butterflyd session's obs scope (Registry.Scope, DESIGN.md §13):
+	// "session.3f2a81c4d09e.driver.epochs" is session 3f2a81c4d09e's own
+	// epoch counter, chained to the process-wide "driver.epochs".
+	SessionScopePrefix = "session."
 )
 
 // Counter is a monotonically increasing int64. The zero value is ready to
-// use; a nil *Counter ignores writes and reads as zero.
+// use; a nil *Counter ignores writes and reads as zero. A counter resolved
+// through a scoped registry (Registry.Scope) carries a parent chain: one
+// Add updates the scoped series and every enclosing aggregate with one
+// extra atomic add per level — still wait-free, still no locks.
 type Counter struct {
-	v atomic.Int64
+	v      atomic.Int64
+	parent *Counter
 }
 
-// Add increments the counter by n.
+// Add increments the counter (and its scope parents) by n.
 func (c *Counter) Add(n int64) {
-	if c == nil {
-		return
+	for ; c != nil; c = c.parent {
+		c.v.Add(n)
 	}
-	c.v.Add(n)
 }
 
 // Inc increments the counter by one.
@@ -112,37 +130,38 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a settable int64 level. The zero value is ready to use; a nil
-// *Gauge ignores writes and reads as zero.
+// *Gauge ignores writes and reads as zero. Scoped gauges chain like
+// counters: a write lands on the scoped series and its parents (for Set
+// that makes the aggregate last-writer-wins across scopes, exactly the
+// sharing sessions had before scopes existed).
 type Gauge struct {
-	v atomic.Int64
+	v      atomic.Int64
+	parent *Gauge
 }
 
 // Set stores v.
 func (g *Gauge) Set(v int64) {
-	if g == nil {
-		return
+	for ; g != nil; g = g.parent {
+		g.v.Store(v)
 	}
-	g.v.Store(v)
 }
 
 // Add adjusts the gauge by delta.
 func (g *Gauge) Add(delta int64) {
-	if g == nil {
-		return
+	for ; g != nil; g = g.parent {
+		g.v.Add(delta)
 	}
-	g.v.Add(delta)
 }
 
 // SetMax raises the gauge to v if v exceeds the current value — the
 // lock-free high-water-mark operation behind the *.peak_* gauges.
 func (g *Gauge) SetMax(v int64) {
-	if g == nil {
-		return
-	}
-	for {
-		cur := g.v.Load()
-		if v <= cur || g.v.CompareAndSwap(cur, v) {
-			return
+	for ; g != nil; g = g.parent {
+		for {
+			cur := g.v.Load()
+			if v <= cur || g.v.CompareAndSwap(cur, v) {
+				break
+			}
 		}
 	}
 }
@@ -160,19 +179,78 @@ func (g *Gauge) Value() int64 {
 // use the returned pointers, whose operations are single atomic
 // instructions. All methods are safe on a nil *Registry: lookups return
 // nil handles, which in turn ignore all operations.
+//
+// A Registry is either a root (New) or a scope of one (Scope). A scope is
+// a prefixed view: metrics it resolves live in the root's map under
+// prefix+name — so they appear on /metrics and in Snapshot alongside
+// everything else — and each scoped handle is chained to the same-named
+// handle of the registry the scope was derived from. Writing through a
+// scoped handle therefore updates the per-scope series and the aggregate
+// with one extra atomic operation, no locks. butterflyd gives every
+// session a scope ("session.<id>."), which is how per-session stage
+// latencies and server counters coexist with the process-wide ones.
 type Registry struct {
 	mu    sync.Mutex
 	m     map[string]any
 	start time.Time
+
+	// Scope state: root points at the registry owning the metric map (nil
+	// for a root), scopeOf at the registry Scope was called on (the parent
+	// chain target), prefix is the accumulated name prefix.
+	root    *Registry
+	scopeOf *Registry
+	prefix  string
 }
 
-// New returns an empty registry. Its creation time anchors the elapsed
-// time and rates shown by Summary.
+// New returns an empty root registry. Its creation time anchors the
+// elapsed time and rates shown by Summary.
 func New() *Registry {
 	return &Registry{m: map[string]any{}, start: time.Now()}
 }
 
-// Start returns the registry's creation time.
+// base returns the registry owning the metric map (r itself for a root).
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// Scope returns a child view registering every metric under prefix+name
+// and chaining each handle to the same-named metric of r, so scoped writes
+// aggregate upward automatically. Scopes nest (each level adds one atomic
+// op per write) and are cheap to create: they share the root's map and
+// mutex and hold no metrics of their own. Scope on a nil registry returns
+// nil, keeping the whole chain no-op.
+func (r *Registry) Scope(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	base := r.base()
+	return &Registry{root: base, scopeOf: r, prefix: r.prefix + prefix, start: base.start}
+}
+
+// Drop removes every metric of this scope from the root registry — the
+// teardown for ephemeral scopes (a finished butterflyd session), keeping
+// /metrics cardinality bounded by *live* sessions. Handles already
+// resolved from the scope stay valid; their writes keep aggregating
+// upward, they just no longer appear in the exposition. Drop on a root
+// registry (or nil) is a no-op.
+func (r *Registry) Drop() {
+	if r == nil || r.prefix == "" {
+		return
+	}
+	base := r.base()
+	base.mu.Lock()
+	defer base.mu.Unlock()
+	for name := range base.m {
+		if strings.HasPrefix(name, r.prefix) {
+			delete(base.m, name)
+		}
+	}
+}
+
+// Start returns the registry's creation time (a scope reports its root's).
 func (r *Registry) Start() time.Time {
 	if r == nil {
 		return time.Time{}
@@ -180,61 +258,91 @@ func (r *Registry) Start() time.Time {
 	return r.start
 }
 
-// lookup returns the metric registered under name, creating it with mk on
-// first use. Registering one name with two different types panics: metric
-// names are a compile-time-style contract, so a collision is a bug.
-func lookup[T any](r *Registry, name string, mk func() *T) *T {
+// lookup returns the metric registered under r.prefix+name, creating it
+// with mk on first use. For scopes, parentOf resolves the same-named
+// metric one level up (recursively creating the whole chain); it runs
+// outside the map lock because it re-enters lookup. Registering one name
+// with two different types panics: metric names are a compile-time-style
+// contract, so a collision is a bug.
+func lookup[T any](r *Registry, name string, mk func(parent *T) *T, parentOf func() *T) *T {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.m[name]; ok {
-		t, ok := m.(*T)
-		if !ok {
-			panic("obs: metric " + name + " registered with a different type")
-		}
-		return t
+	base := r.base()
+	full := r.prefix + name
+	base.mu.Lock()
+	if m, ok := base.m[full]; ok {
+		base.mu.Unlock()
+		return assertMetric[T](full, m)
 	}
-	t := mk()
-	r.m[name] = t
+	base.mu.Unlock()
+	var parent *T
+	if r.scopeOf != nil {
+		parent = parentOf()
+	}
+	base.mu.Lock()
+	defer base.mu.Unlock()
+	if m, ok := base.m[full]; ok { // lost a creation race
+		return assertMetric[T](full, m)
+	}
+	t := mk(parent)
+	base.m[full] = t
+	return t
+}
+
+func assertMetric[T any](name string, m any) *T {
+	t, ok := m.(*T)
+	if !ok {
+		panic("obs: metric " + name + " registered with a different type")
+	}
 	return t
 }
 
 // Counter returns the counter registered under name, creating it if new.
 func (r *Registry) Counter(name string) *Counter {
-	return lookup(r, name, func() *Counter { return &Counter{} })
+	return lookup(r, name,
+		func(parent *Counter) *Counter { return &Counter{parent: parent} },
+		func() *Counter { return r.scopeOf.Counter(name) })
 }
 
 // Gauge returns the gauge registered under name, creating it if new.
 func (r *Registry) Gauge(name string) *Gauge {
-	return lookup(r, name, func() *Gauge { return &Gauge{} })
+	return lookup(r, name,
+		func(parent *Gauge) *Gauge { return &Gauge{parent: parent} },
+		func() *Gauge { return r.scopeOf.Gauge(name) })
 }
 
 // Histogram returns the histogram registered under name, creating it if new.
 func (r *Registry) Histogram(name string) *Histogram {
-	return lookup(r, name, func() *Histogram { return &Histogram{} })
+	return lookup(r, name,
+		func(parent *Histogram) *Histogram { return &Histogram{parent: parent} },
+		func() *Histogram { return r.scopeOf.Histogram(name) })
 }
 
 // Each calls fn for every registered metric in name order. The metric is
-// one of *Counter, *Gauge or *Histogram.
+// one of *Counter, *Gauge or *Histogram. On a scope, Each visits only the
+// scope's own metrics and strips the prefix, so Snapshot/Summary of a
+// session scope describe just that session.
 func (r *Registry) Each(fn func(name string, metric any)) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.m))
-	for name := range r.m {
-		names = append(names, name)
+	base := r.base()
+	base.mu.Lock()
+	names := make([]string, 0, len(base.m))
+	for name := range base.m {
+		if strings.HasPrefix(name, r.prefix) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	metrics := make([]any, len(names))
 	for i, name := range names {
-		metrics[i] = r.m[name]
+		metrics[i] = base.m[name]
 	}
-	r.mu.Unlock()
+	base.mu.Unlock()
 	for i, name := range names {
-		fn(name, metrics[i])
+		fn(strings.TrimPrefix(name, r.prefix), metrics[i])
 	}
 }
 
@@ -250,11 +358,13 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Gauge:
 			out[name] = m.Value()
 		case *Histogram:
+			qs := m.Quantiles(0.50, 0.95, 0.99)
 			out[name] = map[string]any{
 				"count": m.Count(),
 				"sum":   m.Sum(),
-				"p50":   m.Quantile(0.50),
-				"p99":   m.Quantile(0.99),
+				"p50":   qs[0],
+				"p95":   qs[1],
+				"p99":   qs[2],
 				"max":   m.Max(),
 			}
 		}

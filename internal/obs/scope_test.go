@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScopeChainsToRoot(t *testing.T) {
+	root := New()
+	a := root.Scope("session.aaa.")
+	b := root.Scope("session.bbb.")
+
+	a.Counter("server.bytes_in").Add(10)
+	b.Counter("server.bytes_in").Add(5)
+	root.Counter("server.bytes_in").Add(1)
+
+	if got := a.Counter("server.bytes_in").Value(); got != 10 {
+		t.Errorf("scope a counter = %d, want 10", got)
+	}
+	if got := b.Counter("server.bytes_in").Value(); got != 5 {
+		t.Errorf("scope b counter = %d, want 5", got)
+	}
+	if got := root.Counter("server.bytes_in").Value(); got != 16 {
+		t.Errorf("root counter = %d, want 16 (10+5+1)", got)
+	}
+
+	a.Gauge("window.events").Set(7)
+	if got := root.Gauge("window.events").Value(); got != 7 {
+		t.Errorf("root gauge = %d, want 7 (chained Set)", got)
+	}
+	a.Gauge("window.peak").SetMax(3)
+	b.Gauge("window.peak").SetMax(9)
+	a.Gauge("window.peak").SetMax(5)
+	if got := a.Gauge("window.peak").Value(); got != 5 {
+		t.Errorf("scope a peak = %d, want 5", got)
+	}
+	if got := root.Gauge("window.peak").Value(); got != 9 {
+		t.Errorf("root peak = %d, want 9 (max across scopes)", got)
+	}
+
+	a.Histogram("stage.ns").ObserveInt(100)
+	b.Histogram("stage.ns").ObserveInt(200)
+	if got := a.Histogram("stage.ns").Count(); got != 1 {
+		t.Errorf("scope a histogram count = %d, want 1", got)
+	}
+	if got := root.Histogram("stage.ns").Count(); got != 2 {
+		t.Errorf("root histogram count = %d, want 2", got)
+	}
+	if got := root.Histogram("stage.ns").Sum(); got != 300 {
+		t.Errorf("root histogram sum = %d, want 300", got)
+	}
+}
+
+func TestScopeNested(t *testing.T) {
+	root := New()
+	mid := root.Scope("server.")
+	leaf := mid.Scope("conn42.")
+	leaf.Counter("frames").Add(4)
+	if got := mid.Counter("conn42.frames").Value(); got != 4 {
+		t.Errorf("mid view = %d, want 4", got)
+	}
+	if got := root.Counter("server.conn42.frames").Value(); got != 4 {
+		t.Errorf("root full-name view = %d, want 4", got)
+	}
+	// The chain parent is the same-named metric one level up: leaf "frames"
+	// aggregates into mid "frames" (root name "server.frames") and then into
+	// root "frames".
+	leaf.Counter("frames").Inc()
+	if got := mid.Counter("frames").Value(); got != 5 {
+		t.Errorf("mid aggregate counter = %d, want 5", got)
+	}
+	if got := root.Counter("frames").Value(); got != 5 {
+		t.Errorf("root aggregate counter = %d, want 5", got)
+	}
+}
+
+func TestScopeEachSeesOnlyItsPrefix(t *testing.T) {
+	root := New()
+	sc := root.Scope("session.x.")
+	sc.Counter("epochs").Add(2)
+	root.Counter("global.epochs").Add(5)
+
+	var scoped []string
+	sc.Each(func(name string, _ any) { scoped = append(scoped, name) })
+	if len(scoped) != 1 || scoped[0] != "epochs" {
+		t.Errorf("scope Each saw %v, want [epochs] (prefix stripped, globals hidden)", scoped)
+	}
+	var rootNames []string
+	root.Each(func(name string, _ any) { rootNames = append(rootNames, name) })
+	found := 0
+	for _, n := range rootNames {
+		if n == "session.x.epochs" || n == "global.epochs" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("root Each = %v, want both session.x.epochs and global.epochs", rootNames)
+	}
+}
+
+func TestScopeDrop(t *testing.T) {
+	root := New()
+	sc := root.Scope("session.gone.")
+	sc.Counter("epochs").Add(3)
+	sc.Histogram("feed.ns").ObserveInt(50)
+	root.Counter("keep").Inc()
+
+	sc.Drop()
+	var names []string
+	root.Each(func(name string, _ any) { names = append(names, name) })
+	for _, n := range names {
+		if strings.HasPrefix(n, "session.gone.") {
+			t.Errorf("dropped scope metric %q still registered", n)
+		}
+	}
+	if got := root.Counter("keep").Value(); got != 1 {
+		t.Errorf("unrelated metric lost by Drop: keep = %d", got)
+	}
+	// Root aggregates survive the drop (the chain added into them).
+	if got := root.Counter("epochs").Value(); got != 3 {
+		t.Errorf("root aggregate epochs = %d, want 3 after Drop", got)
+	}
+}
+
+func TestScopeNilSafe(t *testing.T) {
+	var reg *Registry
+	sc := reg.Scope("session.x.")
+	if sc != nil {
+		t.Fatalf("Scope on nil registry = %v, want nil", sc)
+	}
+	sc.Counter("c").Inc()
+	sc.Drop()
+	root := New()
+	root.Scope("a.").Drop() // dropping an empty scope is fine
+}
+
+func TestScopeConcurrent(t *testing.T) {
+	root := New()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := root.Scope("s" + string(rune('a'+w)) + ".")
+			for i := 0; i < iters; i++ {
+				sc.Counter("n").Inc()
+				sc.Histogram("h").ObserveInt(int64(i))
+				if i%100 == 0 {
+					root.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := root.Counter("n").Value(); got != workers*iters {
+		t.Errorf("root aggregate = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestHistogramQuantilesBatch(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.ObserveInt(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveInt(100_000)
+	}
+	qs := h.Quantiles(0.50, 0.95, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("Quantiles returned %d values", len(qs))
+	}
+	if qs[0] < 100 || qs[0] > 200 {
+		t.Errorf("p50 = %d, want within [100, 200]", qs[0])
+	}
+	if qs[1] < 100_000 || qs[2] < 100_000 {
+		t.Errorf("p95/p99 = %d/%d, want ≥ 100000", qs[1], qs[2])
+	}
+	if qs[1] > h.Max() || qs[2] > h.Max() {
+		t.Errorf("quantiles exceed max %d: %v", h.Max(), qs)
+	}
+	var nilH *Histogram
+	for _, q := range nilH.Quantiles(0.5, 0.99) {
+		if q != 0 {
+			t.Errorf("nil histogram quantile = %d", q)
+		}
+	}
+	if got := (&Histogram{}).Quantiles(0.5); got[0] != 0 {
+		t.Errorf("empty histogram p50 = %d", got[0])
+	}
+}
+
+func TestSnapshotIncludesQuantiles(t *testing.T) {
+	reg := New()
+	reg.Histogram("x.ns").Observe(3 * time.Millisecond)
+	snap := reg.Snapshot()
+	hist, ok := snap["x.ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot entry: %#v", snap["x.ns"])
+	}
+	for _, k := range []string{"p50", "p95", "p99"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("snapshot histogram missing %q: %v", k, hist)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -18,11 +21,20 @@ import (
 // Span is safe for concurrent use (one short mutex hold per span; spans
 // are per epoch per worker, so contention is negligible next to a pass).
 // A nil *TraceRecorder ignores all calls.
+//
+// Timestamps are exported on the wall clock (microseconds since the Unix
+// epoch), so traces recorded by different processes — butterfly-run and
+// butterflyd, correlated by the trace ID each stamps into its metadata via
+// SetMeta — land on one timeline when concatenated with MergeTraces.
 type TraceRecorder struct {
-	mu    sync.Mutex
-	t0    time.Time
-	names map[int]string
-	spans []spanRec
+	mu       sync.Mutex
+	t0       time.Time
+	t0Unix   int64 // wall-clock anchor of t0, ns since the Unix epoch
+	pid      int   // trace-local process row; 0 until SetProcess
+	procName string
+	meta     map[string]string
+	names    map[int]string
+	spans    []spanRec
 }
 
 type spanRec struct {
@@ -34,9 +46,39 @@ type spanRec struct {
 }
 
 // NewTraceRecorder returns a recorder whose time origin is now; span
-// timestamps are exported relative to it.
+// timestamps are recorded on the monotonic clock relative to it and
+// exported anchored to its wall-clock reading.
 func NewTraceRecorder() *TraceRecorder {
-	return &TraceRecorder{t0: time.Now(), names: map[int]string{}}
+	t0 := time.Now()
+	return &TraceRecorder{t0: t0, t0Unix: t0.UnixNano(), names: map[int]string{}}
+}
+
+// SetProcess labels this recorder's process row in the exported trace: pid
+// distinguishes processes after a merge (convention: 1 = client, 2 =
+// server), name becomes the Perfetto process_name.
+func (tr *TraceRecorder) SetProcess(pid int, name string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.pid = pid
+	tr.procName = name
+	tr.mu.Unlock()
+}
+
+// SetMeta attaches a key/value pair to the trace's top-level otherData
+// object — how both sides stamp the shared trace ID ("trace_id") so merged
+// timelines stay attributable.
+func (tr *TraceRecorder) SetMeta(key, value string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.meta == nil {
+		tr.meta = map[string]string{}
+	}
+	tr.meta[key] = value
+	tr.mu.Unlock()
 }
 
 // SetThreadName labels a tid row in the exported trace (Perfetto shows it
@@ -90,9 +132,11 @@ type traceEvent struct {
 }
 
 // WriteJSON writes the trace as one JSON object. Spans are sorted by start
-// time, so timestamps are globally monotonic; metadata (thread names) come
-// first. The writer is not buffered here — hand in a *bufio.Writer or a
-// bytes.Buffer for large traces.
+// time, so timestamps are globally monotonic; metadata (process and thread
+// names) comes first. Timestamps are wall-clock microseconds since the
+// Unix epoch, so independently written traces can be merged. The writer is
+// not buffered here — hand in a *bufio.Writer or a bytes.Buffer for large
+// traces.
 func (tr *TraceRecorder) WriteJSON(w io.Writer) error {
 	if tr == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`)
@@ -105,11 +149,26 @@ func (tr *TraceRecorder) WriteJSON(w io.Writer) error {
 	for tid, name := range tr.names {
 		names[tid] = name
 	}
+	pid, procName := tr.pid, tr.procName
+	var meta map[string]string
+	if len(tr.meta) > 0 {
+		meta = make(map[string]string, len(tr.meta))
+		for k, v := range tr.meta {
+			meta[k] = v
+		}
+	}
+	t0Unix := tr.t0Unix
 	tr.mu.Unlock()
 
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].startNs < spans[j].startNs })
 
-	events := make([]traceEvent, 0, len(spans)+len(names))
+	events := make([]traceEvent, 0, len(spans)+len(names)+1)
+	if procName != "" {
+		events = append(events, traceEvent{
+			Ph: "M", Pid: pid, Name: "process_name",
+			Args: map[string]any{"name": procName},
+		})
+	}
 	tids := make([]int, 0, len(names))
 	for tid := range names {
 		tids = append(tids, tid)
@@ -117,14 +176,14 @@ func (tr *TraceRecorder) WriteJSON(w io.Writer) error {
 	sort.Ints(tids)
 	for _, tid := range tids {
 		events = append(events, traceEvent{
-			Ph: "M", Pid: 0, Tid: tid, Name: "thread_name",
+			Ph: "M", Pid: pid, Tid: tid, Name: "thread_name",
 			Args: map[string]any{"name": names[tid]},
 		})
 	}
 	for _, s := range spans {
 		ev := traceEvent{
-			Ph: "X", Pid: 0, Tid: s.tid, Name: s.name,
-			Ts:  float64(s.startNs) / 1e3,
+			Ph: "X", Pid: pid, Tid: s.tid, Name: s.name,
+			Ts:  float64(t0Unix+s.startNs) / 1e3,
 			Dur: float64(s.durNs) / 1e3,
 		}
 		if s.epoch >= 0 {
@@ -133,9 +192,72 @@ func (tr *TraceRecorder) WriteJSON(w io.Writer) error {
 		events = append(events, ev)
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
+	out := map[string]any{
 		"displayTimeUnit": "ms",
 		"traceEvents":     events,
+	}
+	if meta != nil {
+		out["otherData"] = meta
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// NewTraceID returns a 16-hex-digit random ID. The client generates one
+// per run and carries it in the Hello handshake; both sides stamp it into
+// their trace metadata and logs, correlating the two processes.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a timestamp
+		// keeps IDs usable (unique per process) rather than panicking.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// mergedTrace mirrors the exported JSON shape permissively, preserving
+// unknown span fields through Args-free round-tripping of the fields we
+// emit ourselves.
+type mergedTrace struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// MergeTraces concatenates traces written by WriteJSON (e.g. the client's
+// -trace-out file and butterflyd's per-session trace) into one file on a
+// shared timeline. Timestamps are already wall-clock anchored, so merging
+// is a sort; metadata events stay ahead of spans. otherData keys are
+// unioned — on a key collision the later trace wins, which is harmless for
+// the intended use (both sides stamp the same trace_id).
+func MergeTraces(w io.Writer, traces ...io.Reader) error {
+	merged := mergedTrace{DisplayTimeUnit: "ms", OtherData: map[string]string{}}
+	for i, r := range traces {
+		var t mergedTrace
+		if err := json.NewDecoder(r).Decode(&t); err != nil {
+			return fmt.Errorf("obs: merge trace %d: %w", i, err)
+		}
+		merged.TraceEvents = append(merged.TraceEvents, t.TraceEvents...)
+		for k, v := range t.OtherData {
+			merged.OtherData[k] = v
+		}
+	}
+	sort.SliceStable(merged.TraceEvents, func(i, j int) bool {
+		ei, ej := merged.TraceEvents[i], merged.TraceEvents[j]
+		if (ei.Ph == "M") != (ej.Ph == "M") {
+			return ei.Ph == "M"
+		}
+		return ei.Ts < ej.Ts
 	})
+	if len(merged.OtherData) == 0 {
+		merged.OtherData = nil
+	}
+	out := map[string]any{
+		"displayTimeUnit": merged.DisplayTimeUnit,
+		"traceEvents":     merged.TraceEvents,
+	}
+	if merged.OtherData != nil {
+		out["otherData"] = merged.OtherData
+	}
+	return json.NewEncoder(w).Encode(out)
 }

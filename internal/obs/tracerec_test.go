@@ -110,3 +110,130 @@ func TestTraceRecorderConcurrentSpans(t *testing.T) {
 		t.Fatal("concurrent trace is not valid JSON")
 	}
 }
+
+func TestTraceRecorderProcessMetaAndWallClock(t *testing.T) {
+	before := time.Now().UnixNano()
+	tr := NewTraceRecorder()
+	tr.SetProcess(2, "butterflyd session=abc")
+	tr.SetMeta("trace_id", "deadbeef01234567")
+	tr.SetMeta("session", "abc")
+	tr.Span(0, "feed-epoch", time.Now(), time.Millisecond, 7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		exported
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.OtherData["trace_id"] != "deadbeef01234567" || out.OtherData["session"] != "abc" {
+		t.Errorf("otherData = %v", out.OtherData)
+	}
+	var sawProcName bool
+	for _, ev := range out.TraceEvents {
+		if ev.Pid != 2 {
+			t.Errorf("event %q pid = %d, want 2", ev.Name, ev.Pid)
+		}
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			sawProcName = true
+			if got := ev.Args["name"]; got != "butterflyd session=abc" {
+				t.Errorf("process_name = %v", got)
+			}
+		}
+		if ev.Ph == "X" {
+			// Wall-clock anchored: ts in µs must land at/after recorder creation.
+			if ev.Ts < float64(before)/1e3 {
+				t.Errorf("span ts %f µs predates recorder creation %d ns", ev.Ts, before)
+			}
+		}
+	}
+	if !sawProcName {
+		t.Error("no process_name metadata event")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Errorf("two IDs collide: %q", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("ID %q has length %d, want 16", a, len(a))
+	}
+	for _, c := range a {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Errorf("ID %q is not lowercase hex", a)
+		}
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	id := NewTraceID()
+	client := NewTraceRecorder()
+	client.SetProcess(1, "butterfly-run")
+	client.SetMeta("trace_id", id)
+	server := NewTraceRecorder()
+	server.SetProcess(2, "butterflyd")
+	server.SetMeta("trace_id", id)
+	server.SetMeta("session", "abc")
+
+	base := time.Now()
+	client.Span(1, "send-epoch", base, time.Millisecond, 0)
+	server.Span(0, "feed-epoch", base.Add(200*time.Microsecond), 500*time.Microsecond, 0)
+	client.Span(1, "send-epoch", base.Add(2*time.Millisecond), time.Millisecond, 1)
+
+	var cbuf, sbuf, merged bytes.Buffer
+	if err := client.WriteJSON(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.WriteJSON(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeTraces(&merged, &cbuf, &sbuf); err != nil {
+		t.Fatalf("MergeTraces: %v", err)
+	}
+	var out struct {
+		exported
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(merged.Bytes(), &out); err != nil {
+		t.Fatalf("merged output invalid: %v\n%s", err, merged.String())
+	}
+	if out.OtherData["trace_id"] != id || out.OtherData["session"] != "abc" {
+		t.Errorf("merged otherData = %v (want union with trace_id %s)", out.OtherData, id)
+	}
+	pids := map[int]bool{}
+	var spans int
+	lastTs := -1.0
+	metaOver := false
+	for _, ev := range out.TraceEvents {
+		pids[ev.Pid] = true
+		switch ev.Ph {
+		case "X":
+			spans++
+			metaOver = true
+			if ev.Ts < lastTs {
+				t.Errorf("merged spans not ts-sorted: %q %f after %f", ev.Name, ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		case "M":
+			if metaOver {
+				t.Errorf("metadata event %q after spans began", ev.Name)
+			}
+		}
+	}
+	if spans != 3 {
+		t.Errorf("merged span count = %d, want 3", spans)
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("merged trace lost a process: pids %v", pids)
+	}
+
+	if err := MergeTraces(&bytes.Buffer{}, bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("MergeTraces accepted garbage input")
+	}
+}

@@ -119,6 +119,13 @@ type Hello struct {
 	// AckedEpoch is the highest tick whose Ack the client has seen
 	// (−1 for none). The server replays Reports for later ticks.
 	AckedEpoch int `json:"acked_epoch"`
+	// TraceID correlates this session across processes: the client generates
+	// it once per run (obs.NewTraceID) and repeats it on every resume Hello;
+	// both sides stamp it into their logs and Chrome-trace metadata, so the
+	// two traces merge into one attributable timeline. Optional; the server
+	// generates one if absent, and sanitizes whatever arrives (it is a remote
+	// input that ends up in logs).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Welcome accepts a session.

@@ -148,3 +148,42 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		t.Fatalf("report round trip:\n got %#v\nwant %#v", out, in)
 	}
 }
+
+func TestHelloTraceIDRoundTrip(t *testing.T) {
+	h := Hello{
+		Proto:      Version,
+		Lifeguard:  "addrcheck",
+		NumThreads: 4,
+		TraceID:    "deadbeef01234567",
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"trace_id":"deadbeef01234567"`)) {
+		t.Errorf("marshaled Hello lacks trace_id: %s", b)
+	}
+	var got Hello
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != h.TraceID {
+		t.Errorf("TraceID round-trip = %q, want %q", got.TraceID, h.TraceID)
+	}
+
+	// Absent field stays absent on the wire (old clients) and decodes to "".
+	b, err = json.Marshal(Hello{Proto: Version, Lifeguard: "memcheck", NumThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("trace_id")) {
+		t.Errorf("empty TraceID serialized: %s", b)
+	}
+	var legacy Hello
+	if err := json.Unmarshal([]byte(`{"proto":1,"lifeguard":"memcheck","num_threads":2}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.TraceID != "" {
+		t.Errorf("legacy Hello TraceID = %q, want empty", legacy.TraceID)
+	}
+}

@@ -225,9 +225,9 @@ func BenchmarkReportsMarshal(b *testing.B) {
 	r := Reports{Epoch: 17, Reports: make([]core.Report, 8)}
 	for i := range r.Reports {
 		r.Reports[i] = core.Report{
-			Ref:  trace.Ref{Epoch: 15, Thread: trace.ThreadID(i), Index: 100 + i},
-			Ev:   trace.Event{Kind: 2, Addr: 0x1000, Size: 8, Cycle: uint64(i)},
-			Code: "addrcheck.unallocated-access",
+			Ref:    trace.Ref{Epoch: 15, Thread: trace.ThreadID(i), Index: 100 + i},
+			Ev:     trace.Event{Kind: 2, Addr: 0x1000, Size: 8, Cycle: uint64(i)},
+			Code:   "addrcheck.unallocated-access",
 			Detail: `access to "0x1000" <unallocated>`,
 		}
 	}
@@ -243,9 +243,9 @@ func BenchmarkReportsUnmarshal(b *testing.B) {
 	r := Reports{Epoch: 17, Reports: make([]core.Report, 8)}
 	for i := range r.Reports {
 		r.Reports[i] = core.Report{
-			Ref:  trace.Ref{Epoch: 15, Thread: trace.ThreadID(i), Index: 100 + i},
-			Ev:   trace.Event{Kind: 2, Addr: 0x1000, Size: 8, Cycle: uint64(i)},
-			Code: "addrcheck.unallocated-access",
+			Ref:    trace.Ref{Epoch: 15, Thread: trace.ThreadID(i), Index: 100 + i},
+			Ev:     trace.Event{Kind: 2, Addr: 0x1000, Size: 8, Cycle: uint64(i)},
+			Code:   "addrcheck.unallocated-access",
 			Detail: `access to "0x1000" <unallocated>`,
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
@@ -64,8 +65,19 @@ type Config struct {
 	// HelloTimeout bounds how long a fresh connection may take to present
 	// its Hello. 0 → 10 seconds.
 	HelloTimeout time.Duration
-	// Obs, when non-nil, receives service and driver telemetry.
+	// Obs, when non-nil, receives service and driver telemetry. Each session
+	// additionally gets a child scope ("session.<shortID>.*", DESIGN.md §13)
+	// whose metrics chain into the globals.
 	Obs *obs.Registry
+	// Log receives structured lifecycle and error events. nil → discard.
+	Log *slog.Logger
+	// TraceDir, when set, makes every session record a Chrome trace of its
+	// driver spans, written to TraceDir/session-<shortID>.json at eviction.
+	// The trace carries the Hello's trace ID, so it merges with the client's
+	// -trace-out file (obs.MergeTraces) into one cross-process timeline.
+	TraceDir string
+	// FlightDepth sizes each session's flight-recorder ring. 0 → 256.
+	FlightDepth int
 }
 
 // withDefaults returns cfg with unset fields filled.
@@ -88,14 +100,19 @@ func (cfg Config) withDefaults() Config {
 	if cfg.HelloTimeout <= 0 {
 		cfg.HelloTimeout = 10 * time.Second
 	}
+	if cfg.Log == nil {
+		cfg.Log = obs.DiscardLogger()
+	}
 	return cfg
 }
 
 // Server is a butterflyd instance.
 type Server struct {
-	cfg Config
-	ln  net.Listener
-	sem chan struct{} // analysis worker slots
+	cfg     Config
+	ln      net.Listener
+	sem     chan struct{} // analysis worker slots
+	log     *slog.Logger
+	started time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -107,25 +124,24 @@ type Server struct {
 	m serverMetrics
 }
 
-// serverMetrics holds the resolved obs handles (nil-safe when unset).
+// serverMetrics holds the resolved registry-level obs handles (nil-safe
+// when unset). Per-session wire counters (bytes/frames/reports) live in
+// sessionMetrics: the scope handles chain into the same-named globals, so
+// one Add updates both views.
 type serverMetrics struct {
 	active, detached                                *obs.Gauge
 	accepted, rejected, resumed, evicted, completed *obs.Counter
-	bytesIn, framesIn, reportsOut                   *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
 	return serverMetrics{
-		active:     reg.Gauge(obs.MetricSessionsActive),
-		detached:   reg.Gauge(obs.MetricSessionsDetached),
-		accepted:   reg.Counter(obs.MetricSessionsAccepted),
-		rejected:   reg.Counter(obs.MetricSessionsRejected),
-		resumed:    reg.Counter(obs.MetricSessionsResumed),
-		evicted:    reg.Counter(obs.MetricSessionsEvicted),
-		completed:  reg.Counter(obs.MetricSessionsCompleted),
-		bytesIn:    reg.Counter(obs.MetricServerBytesIn),
-		framesIn:   reg.Counter(obs.MetricServerFramesIn),
-		reportsOut: reg.Counter(obs.MetricServerReportsOut),
+		active:    reg.Gauge(obs.MetricSessionsActive),
+		detached:  reg.Gauge(obs.MetricSessionsDetached),
+		accepted:  reg.Counter(obs.MetricSessionsAccepted),
+		rejected:  reg.Counter(obs.MetricSessionsRejected),
+		resumed:   reg.Counter(obs.MetricSessionsResumed),
+		evicted:   reg.Counter(obs.MetricSessionsEvicted),
+		completed: reg.Counter(obs.MetricSessionsCompleted),
 	}
 }
 
@@ -140,6 +156,8 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		ln:       ln,
 		sem:      make(chan struct{}, cfg.MaxAnalyze),
+		log:      cfg.Log,
+		started:  time.Now(),
 		sessions: map[string]*session{},
 		conns:    map[net.Conn]struct{}{},
 		m:        newServerMetrics(cfg.Obs),
@@ -181,6 +199,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	s.ln.Close()
+	s.log.Info("server draining")
 
 	finished := make(chan struct{})
 	go func() {
@@ -201,16 +220,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	// Drop every remaining checkpoint (detached sessions waiting on grace
-	// timers would otherwise pin their pipeline workers).
+	// timers would otherwise pin their pipeline workers). Cleanup runs
+	// outside the lock: it closes pipelines and may write trace files.
 	s.mu.Lock()
+	var victims []*session
 	for id, sess := range s.sessions {
 		if sess.evictTimer != nil {
 			sess.evictTimer.Stop()
 		}
 		delete(s.sessions, id)
-		sess.inc.Close()
+		victims = append(victims, sess)
 	}
 	s.mu.Unlock()
+	for _, sess := range victims {
+		s.cleanupSession(sess)
+	}
 	return err
 }
 
@@ -283,8 +307,8 @@ func (s *Server) reattach(h proto.Hello) (*session, *proto.Reject) {
 // the grace timer fires.
 func (s *Server) detach(sess *session) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.sessions[sess.id]; !ok {
+		s.mu.Unlock()
 		return // already evicted
 	}
 	sess.attached = false
@@ -292,23 +316,30 @@ func (s *Server) detach(sess *session) {
 	s.m.detached.Add(1)
 	sess.evictTimer = time.AfterFunc(s.cfg.DetachGrace, func() {
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		if cur, ok := s.sessions[sess.id]; !ok || cur != sess || sess.attached {
+			s.mu.Unlock()
 			return // resumed (or replaced) before the timer won the lock
 		}
 		delete(s.sessions, sess.id)
 		s.m.detached.Add(-1)
 		s.m.evicted.Inc()
-		sess.inc.Close()
+		s.mu.Unlock()
+		s.log.Info("session evicted", "session", sess.shortID, "trace", sess.traceID,
+			"reason", "detach grace expired", "epochs", sess.sm.epochs.Value())
+		s.cleanupSession(sess)
 	})
+	s.mu.Unlock()
+	sess.flight.Record(obs.FlightNote, -1, 0, 0, "detached")
+	s.log.Info("session detached", "session", sess.shortID, "trace", sess.traceID,
+		"epochs", sess.sm.epochs.Value())
 }
 
 // evict removes an attached session permanently (completion, quota breach,
 // protocol error).
 func (s *Server) evict(sess *session, completed bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.sessions[sess.id]; !ok {
+		s.mu.Unlock()
 		return
 	}
 	delete(s.sessions, sess.id)
@@ -322,7 +353,23 @@ func (s *Server) evict(sess *session, completed bool) {
 	} else {
 		s.m.evicted.Inc()
 	}
+	s.mu.Unlock()
+	if completed {
+		s.log.Info("session completed", "session", sess.shortID, "trace", sess.traceID,
+			"epochs", sess.done.Epochs, "events", sess.done.Events, "reports", sess.done.Reports)
+	}
+	s.cleanupSession(sess)
+}
+
+// cleanupSession releases everything a removed session holds: the pipeline
+// workers, its metric scope (bounding /metrics cardinality to live
+// sessions), and — when tracing — its trace file. Exactly one caller runs
+// this per session: evict, the grace timer, and Shutdown all race on the
+// registry delete and only the winner proceeds here.
+func (s *Server) cleanupSession(sess *session) {
 	sess.inc.Close()
+	sess.scope.Drop()
+	sess.writeTrace(s.cfg.TraceDir, s.log)
 }
 
 // handleConn runs one connection: Hello handshake, then the session loop.
@@ -360,14 +407,23 @@ func (s *Server) handleConn(conn net.Conn) {
 		sess, rej = s.reattach(h)
 		if rej == nil {
 			s.m.resumed.Inc()
+			sess.flight.Record(obs.FlightNote, -1, 0, 0, "resumed")
+			s.log.Info("session resumed", "session", sess.shortID, "trace", sess.traceID,
+				"next_epoch", sess.inc.NextEpoch(), "remote", conn.RemoteAddr().String())
 		}
 	} else {
 		sess, rej = s.admit(h)
 		if rej == nil {
 			s.m.accepted.Inc()
+			sess.flight.Record(obs.FlightNote, -1, 0, 0, "accepted")
+			s.log.Info("session accepted", "session", sess.shortID, "trace", sess.traceID,
+				"lifeguard", h.Lifeguard, "threads", h.NumThreads, "shards", sess.inc.Shards(),
+				"remote", conn.RemoteAddr().String())
 		}
 	}
 	if rej != nil {
+		s.log.Warn("hello rejected", "code", rej.Code, "reason", rej.Reason,
+			"remote", conn.RemoteAddr().String())
 		s.reject(bw, *rej)
 		return
 	}
@@ -382,8 +438,14 @@ func (s *Server) reject(bw *bufio.Writer, rej proto.Reject) {
 	}
 }
 
-// sessionError aborts the session with a typed error frame.
+// sessionError aborts the session with a typed error frame. The error log
+// line carries the flight-recorder tail, so the post-mortem — which epochs
+// the session was on and how they were pacing — is in the log even if
+// nobody queried /debug/flight before the eviction dropped the ring.
 func (s *Server) sessionError(bw *bufio.Writer, sess *session, code, reason string) {
+	sess.flight.Record(obs.FlightError, -1, 0, 0, code+": "+reason)
+	s.log.Error("session aborted", "session", sess.shortID, "trace", sess.traceID,
+		"code", code, "reason", reason, "flight", sess.flight.Tail(8))
 	if err := proto.WriteJSON(bw, proto.FrameError, proto.ErrorMsg{Code: code, Reason: reason}); err == nil {
 		bw.Flush()
 	}
@@ -404,7 +466,7 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			s.detach(sess)
 			return
 		}
-		s.m.reportsOut.Add(int64(len(rep.Reports)))
+		sess.sm.reportsOut.Add(int64(len(rep.Reports)))
 	}
 	if sess.finished {
 		s.finishSession(br, bw, sess)
@@ -417,8 +479,10 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 
 	// The frame loop reuses one payload buffer (FrameReader) and recycled
 	// epoch rows (the session's RowPool), so a healthy session's steady
-	// state reads, decodes and analyzes without allocating. Payloads are
-	// fully consumed before the next Read, as FrameReader requires.
+	// state reads, decodes and analyzes without allocating: the scoped
+	// counters, latency histograms and flight recorder below all write into
+	// preallocated state. Payloads are fully consumed before the next Read,
+	// as FrameReader requires.
 	fr := proto.NewFrameReader(br)
 	for {
 		ft, payload, err := fr.Read()
@@ -426,9 +490,9 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			s.detach(sess)
 			return
 		}
-		s.m.framesIn.Inc()
+		sess.sm.framesIn.Inc()
 		frameBytes := int64(len(payload)) + 5
-		s.m.bytesIn.Add(frameBytes)
+		sess.sm.bytesIn.Add(frameBytes)
 		sess.bytesIn += frameBytes
 		if s.cfg.MaxSessionBytes > 0 && sess.bytesIn > s.cfg.MaxSessionBytes {
 			s.sessionError(bw, sess, "quota-bytes",
@@ -462,9 +526,15 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 				return
 			}
 			sess.rb.Stamp(blocks)
+			tick0 := time.Now()
 			s.acquire()
+			wait := time.Since(tick0)
 			reps, err := sess.inc.FeedEpoch(blocks)
 			s.release()
+			dur := time.Since(tick0)
+			sess.sm.waitNs.Observe(wait)
+			sess.sm.feedNs.Observe(dur)
+			sess.flight.Record(obs.FlightEpoch, num, dur, wait, "")
 			if err != nil {
 				s.sessionError(bw, sess, "internal", err.Error())
 				return
@@ -475,7 +545,7 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 					s.detach(sess)
 					return
 				}
-				s.m.reportsOut.Add(int64(len(reps)))
+				sess.sm.reportsOut.Add(int64(len(reps)))
 			}
 			if err := proto.WriteFrame(bw, proto.FrameAck, proto.EncodeAck(num)); err != nil {
 				s.detach(sess)
@@ -498,12 +568,13 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			sess.recordReports(res.Epochs, res.Reports)
 			sess.finished = true
 			sess.done = proto.Done{Epochs: res.Epochs, Events: res.Events, Reports: sess.nreports}
+			sess.flight.Record(obs.FlightNote, res.Epochs, 0, 0, "finished")
 			if len(res.Reports) > 0 {
 				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: res.Epochs, Reports: res.Reports}); err != nil {
 					s.detach(sess)
 					return
 				}
-				s.m.reportsOut.Add(int64(len(res.Reports)))
+				sess.sm.reportsOut.Add(int64(len(res.Reports)))
 			}
 			s.finishSession(br, bw, sess)
 			return

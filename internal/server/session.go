@@ -1,14 +1,20 @@
 package server
 
 import (
+	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"butterfly/internal/core"
 	"butterfly/internal/epoch"
 	"butterfly/internal/lifeguard/registry"
+	"butterfly/internal/obs"
 	"butterfly/internal/proto"
 	"butterfly/internal/trace"
 )
@@ -26,11 +32,27 @@ import (
 // next attach or the eviction timer).
 type session struct {
 	id      string
+	shortID string      // first 12 hex digits: log/metric/endpoint label
+	traceID string      // cross-process correlation ID (Hello, sanitized)
 	hello   proto.Hello // the creating Hello: lifeguard config and width
 	created time.Time
 
 	inc *core.Incremental
 	rb  *epoch.RowBuilder
+
+	// scope is this session's obs child scope ("session.<shortID>."); its
+	// driver and server.* metrics chain into the globals, so one Add updates
+	// both views. sm caches the handles the frame loop touches per epoch.
+	scope *obs.Registry
+	sm    sessionMetrics
+
+	// flight is the session's always-on post-mortem ring (DESIGN.md §13).
+	flight *obs.FlightRecorder
+
+	// rec, when TraceDir is configured, records this session's driver spans;
+	// traceOnce guards the one-shot file write at eviction.
+	rec       *obs.TraceRecorder
+	traceOnce sync.Once
 
 	// rows/evRow are the session's pooled-decode state: epoch frames decode
 	// straight into a recycled row's event backings (evRow is the scratch
@@ -59,6 +81,28 @@ type session struct {
 	evictTimer *time.Timer
 }
 
+// sessionMetrics caches the scope handles the per-epoch frame loop
+// touches. Every handle chains into the global series of the same name, so
+// sm.bytesIn.Add both labels the session and feeds server.bytes_in. All
+// handles are nil (safe no-ops) when the server runs without a registry.
+type sessionMetrics struct {
+	epochs, bytesIn, framesIn, reportsOut *obs.Counter
+	feedNs, waitNs                        *obs.Histogram
+	windowEvents                          *obs.Gauge
+}
+
+func newSessionMetrics(scope *obs.Registry) sessionMetrics {
+	return sessionMetrics{
+		epochs:       scope.Counter(obs.MetricEpochs),
+		bytesIn:      scope.Counter(obs.MetricServerBytesIn),
+		framesIn:     scope.Counter(obs.MetricServerFramesIn),
+		reportsOut:   scope.Counter(obs.MetricServerReportsOut),
+		feedNs:       scope.Histogram(obs.MetricServerFeedNs),
+		waitNs:       scope.Histogram(obs.MetricServerAcquireWaitNs),
+		windowEvents: scope.Gauge(obs.MetricWindowEvents),
+	}
+}
+
 // newSessionID returns a 128-bit random token.
 func newSessionID() (string, error) {
 	var b [16]byte
@@ -66,6 +110,26 @@ func newSessionID() (string, error) {
 		return "", fmt.Errorf("server: session id: %w", err)
 	}
 	return hex.EncodeToString(b[:]), nil
+}
+
+// sanitizeTraceID accepts a client-proposed trace ID for use in logs,
+// metric names and file paths: [A-Za-z0-9._-] only, at most 64 bytes.
+// Anything else — including an absent ID — is replaced with a fresh one,
+// so a hostile Hello cannot inject into the observability plane.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > 64 {
+		return obs.NewTraceID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return obs.NewTraceID()
+		}
+	}
+	return id
 }
 
 // newSession validates a fresh Hello and builds its session.
@@ -78,26 +142,72 @@ func (s *Server) newSession(h proto.Hello) (*session, *proto.Reject) {
 	if err != nil {
 		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
 	}
-	d := &core.Driver{LG: lg, Parallel: !h.Serial, Shards: s.cfg.Shards, Obs: s.cfg.Obs}
-	inc, err := d.NewIncrementalTrimmed(h.NumThreads)
-	if err != nil {
-		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
-	}
 	id, err := newSessionID()
 	if err != nil {
-		inc.Close()
 		return nil, &proto.Reject{Code: "internal", Reason: err.Error()}
+	}
+	shortID := id[:12]
+	traceID := sanitizeTraceID(h.TraceID)
+	scope := s.cfg.Obs.Scope(obs.SessionScopePrefix + shortID + ".")
+	var rec *obs.TraceRecorder
+	if s.cfg.TraceDir != "" {
+		rec = obs.NewTraceRecorder()
+		rec.SetProcess(2, "butterflyd session="+shortID)
+		rec.SetMeta("trace_id", traceID)
+		rec.SetMeta("session", shortID)
+	}
+	d := &core.Driver{LG: lg, Parallel: !h.Serial, Shards: s.cfg.Shards, Obs: scope, Trace: rec}
+	inc, err := d.NewIncrementalTrimmed(h.NumThreads)
+	if err != nil {
+		scope.Drop()
+		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
 	}
 	sess := &session{
 		id:      id,
+		shortID: shortID,
+		traceID: traceID,
 		hello:   h,
 		created: time.Now(),
 		inc:     inc,
 		rb:      epoch.NewRowBuilder(h.NumThreads),
+		scope:   scope,
+		sm:      newSessionMetrics(scope),
+		flight:  obs.NewFlightRecorder(s.cfg.FlightDepth),
+		rec:     rec,
 		evRow:   make([][]trace.Event, h.NumThreads),
 	}
 	inc.SetRowRecycler(sess.rows.Put)
 	return sess, nil
+}
+
+// writeTrace writes the session's Chrome trace to dir exactly once —
+// called at eviction (completion, error, grace expiry, shutdown). No-op
+// unless the server was configured with a TraceDir.
+func (sess *session) writeTrace(dir string, log *slog.Logger) {
+	if dir == "" || sess.rec == nil {
+		return
+	}
+	sess.traceOnce.Do(func() {
+		path := filepath.Join(dir, "session-"+sess.shortID+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Error("session trace not written", "session", sess.shortID, "err", err.Error())
+			return
+		}
+		bw := bufio.NewWriter(f)
+		err = sess.rec.WriteJSON(bw)
+		if e := bw.Flush(); err == nil {
+			err = e
+		}
+		if e := f.Close(); err == nil {
+			err = e
+		}
+		if err != nil {
+			log.Error("session trace not written", "session", sess.shortID, "path", path, "err", err.Error())
+			return
+		}
+		log.Info("session trace written", "session", sess.shortID, "trace", sess.traceID, "path", path)
+	})
 }
 
 // replayAfter returns the report frames for ticks after acked, in order.

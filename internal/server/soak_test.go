@@ -7,10 +7,12 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -131,6 +133,59 @@ func TestSoakConcurrentSessions(t *testing.T) {
 		MaxAnalyze:  4, // force cross-session contention on the worker pool
 		Obs:         reg,
 	})
+
+	// Hammer the introspection endpoints for the whole soak: /sessions and
+	// /debug/flight must keep returning valid per-session JSON while all
+	// sessions churn (under -race via `make soak`, this is the proof the
+	// handlers only touch shared-safe state).
+	ds, err := obs.StartDebugServer("localhost:0", reg, s.DebugEndpoints()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	pollDone := make(chan struct{})
+	pollStop := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		var sawLive bool
+		for {
+			select {
+			case <-pollStop:
+				if !sawLive {
+					t.Error("/sessions never showed a live session during the soak")
+				}
+				return
+			default:
+			}
+			for _, path := range []string{"/sessions", "/debug/flight"} {
+				resp, err := http.Get("http://" + ds.Addr() + path)
+				if err != nil {
+					continue // server teardown racing the last poll
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s = %d (%v)", path, resp.StatusCode, rerr)
+					return
+				}
+				var answer struct {
+					Sessions []json.RawMessage `json:"sessions"`
+				}
+				if err := json.Unmarshal(body, &answer); err != nil {
+					t.Errorf("GET %s: invalid JSON: %v", path, err)
+					return
+				}
+				if path == "/sessions" && len(answer.Sessions) > 0 {
+					sawLive = true
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() {
+		close(pollStop)
+		<-pollDone
+	}()
 
 	names := registry.Names()
 	var wg sync.WaitGroup
