@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-smoke test-shards bench bench-obs bench-obs-smoke bench-shards bench-alloc soak serve-bench ci clean
+.PHONY: all build test race vet fmt-check fuzz fuzz-smoke test-shards bench bench-obs bench-obs-smoke bench-shards bench-alloc bench-wal soak crash-soak serve-bench ci clean
 
 all: build
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzStreamReader -fuzztime 30s
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadText -fuzztime 30s
 	$(GO) test ./internal/proto -run XXX -fuzz FuzzServerFrameDecoder -fuzztime 30s
+	$(GO) test ./internal/store -run XXX -fuzz FuzzWALDecoder -fuzztime 30s
 
 # Shorter fuzz pass for the CI gate: 10s per decoder, seeded from testdata/.
 fuzz-smoke:
@@ -35,6 +36,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzStreamReader -fuzztime 10s
 	$(GO) test ./internal/trace -run XXX -fuzz FuzzReadText -fuzztime 10s
 	$(GO) test ./internal/proto -run XXX -fuzz FuzzServerFrameDecoder -fuzztime 10s
+	$(GO) test ./internal/store -run XXX -fuzz FuzzWALDecoder -fuzztime 10s
 
 # Shard-invariance gate: every lifeguard x driver at shards {1,2,3,8} must be
 # byte-identical to the serial oracle (reports, order, final SOS), plus the
@@ -48,16 +50,29 @@ bench-shards:
 
 # GC-pressure gate (DESIGN.md §12, EXPERIMENTS.md "Allocation ablation").
 # TestSteadyStateAllocBudget fails the build if the warm epoch loop
-# allocates more than its fixed per-epoch budget; the -benchmem run prints
+# allocates more than its fixed per-epoch budget, and TestWALAppendAllocBudget
+# does the same for the durable store's append path; the -benchmem run prints
 # the full-stack allocs/op to compare against BENCH_alloc.json.
 bench-alloc:
 	$(GO) test ./internal/core -count=1 -run TestSteadyStateAllocBudget -v
+	$(GO) test ./internal/store -count=1 -run TestWALAppendAllocBudget -v
 	$(GO) test ./internal/server -run XXX -bench 'BenchmarkServerThroughput$$' -benchtime 10x -benchmem
+
+# WAL durability ablation (EXPERIMENTS.md "Durability"): server throughput
+# with the session store at each fsync policy vs the in-memory baseline.
+bench-wal:
+	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughputWAL -benchtime 5x -count 2 -benchmem
 
 # The butterflyd differential soak: concurrent sessions (and the
 # connection-killing chaos variant) must match in-process RunStream exactly.
 soak:
 	$(GO) test ./internal/server -race -count=1 -run 'TestSoak'
+
+# The crash soak (DESIGN.md §14): a real butterflyd subprocess over a durable
+# store is SIGKILLed mid-stream, repeatedly, per fsync policy; the resumed
+# session's final reports must be byte-identical to the in-process oracle.
+crash-soak:
+	$(GO) test ./internal/server -race -count=1 -run 'TestCrashSoak'
 
 # End-to-end server throughput: client encode -> TCP -> decode -> analysis.
 serve-bench:
@@ -84,13 +99,14 @@ bench-obs-smoke:
 
 # The gate a change must pass before it lands. `fmt-check` keeps the tree
 # gofmt-clean; `race` runs the full test suite (including the butterflyd
-# soak) under the race detector; `soak` and `test-shards` repeat the server
-# and shard differentials explicitly so a cached `race` run cannot mask
-# them, `fuzz-smoke` gives each decoder fuzzer a short budget beyond its
-# checked-in seed corpus, `bench-alloc` fails the build if the steady-state
-# epoch loop starts allocating again, and `bench-obs-smoke` proves the
-# instrumented driver and server paths still run end to end.
-ci: fmt-check vet build race soak test-shards fuzz-smoke bench-alloc bench-obs-smoke
+# soak) under the race detector; `soak`, `crash-soak` and `test-shards`
+# repeat the server, kill -9 and shard differentials explicitly so a cached
+# `race` run cannot mask them, `fuzz-smoke` gives each decoder fuzzer a
+# short budget beyond its checked-in seed corpus, `bench-alloc` fails the
+# build if the steady-state epoch loop or the WAL append path starts
+# allocating again, and `bench-obs-smoke` proves the instrumented driver
+# and server paths still run end to end.
+ci: fmt-check vet build race soak crash-soak test-shards fuzz-smoke bench-alloc bench-obs-smoke
 
 clean:
 	rm -f core.test server.test cpu.prof mem.prof

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	butterfly-bench [-exp all|table1|fig11|fig12|fig13|ablate|stream|shards] [flags]
+//	butterfly-bench [-exp all|table1|fig11|fig12|fig13|ablate|stream|shards|wal] [flags]
 //
 // -exp stream compares the streaming pipelined driver against the batch
 // driver end to end (encoded bytes in, reports out), reporting wall time,
@@ -14,6 +14,11 @@
 // heap workload at shard counts 1, 2, 4 and 8 (-shards overrides), reporting
 // events/s and the speedup over the unsharded driver. Results are identical
 // at every shard count; only the schedule changes.
+//
+// -exp wal runs the durability ablation: the same workload through the full
+// client/server stack with the session WAL at each fsync policy (off,
+// batched, per-ack) against the in-memory server, reporting what an Ack
+// costs once it implies persistence.
 //
 // Experiments run at a configurable scale (-scale); epoch sizes and total
 // work shrink together, preserving the churn-per-epoch ratios that drive
@@ -33,8 +38,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, fig11, fig12, fig13, ablate, stream, shards")
-		reps    = flag.Int("reps", 3, "repetitions per pipeline for -exp stream/shards (best time wins)")
+		exp     = flag.String("exp", "all", "experiment: all, table1, fig11, fig12, fig13, ablate, stream, shards, wal")
+		reps    = flag.Int("reps", 3, "repetitions per pipeline for -exp stream/shards/wal (best time wins)")
 		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shards (default 1,2,4,8); elsewhere a single count for the driver")
 		scale   = flag.Float64("scale", 0, "scale factor for work and epoch sizes (0 = default 1/32)")
 		threads = flag.String("threads", "2,4,8", "comma-separated application thread counts")
@@ -142,6 +147,14 @@ func main() {
 		}
 		fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(bench.RenderShardAblation(rows))
+	case "wal":
+		start := time.Now()
+		rows, err := bench.WALAblation(o, *reps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(bench.RenderWALAblation(rows))
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}

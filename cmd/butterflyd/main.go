@@ -20,6 +20,16 @@
 // /debug/pprof. -log-level/-log-format shape the structured event log;
 // -trace-dir makes every session write a Chrome trace that merges with the
 // client's -trace-out file via their shared trace ID.
+//
+// Durability (DESIGN.md §14): with -data-dir DIR every session keeps a
+// write-ahead log of its epochs, appended before each Ack, so sessions
+// survive a killed butterflyd — a restarting server replays incomplete
+// sessions through fresh drivers (deterministic, so state and reports
+// rebuild exactly) and clients resume from their last Ack. -fsync picks
+// the policy (per-ack, batched, off; every policy survives SIGKILL,
+// per-ack also survives power loss) and -snapshot-every the progress
+// cursor cadence. Disk errors degrade a session to in-memory instead of
+// killing it.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"butterfly/internal/obs"
 	"butterfly/internal/server"
+	"butterfly/internal/store"
 )
 
 func main() {
@@ -51,6 +62,10 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 		traceDir    = flag.String("trace-dir", "", "write each session's Chrome trace to this directory at eviction")
 		flightDepth = flag.Int("flight-depth", 0, "events per session flight-recorder ring (0 = 256)")
+
+		dataDir   = flag.String("data-dir", "", "durable session store directory: sessions survive server restarts via per-session write-ahead logs (empty = in-memory only)")
+		fsyncMode = flag.String("fsync", "batched", "WAL durability policy: per-ack (fsync before every Ack), batched (group writeback, fsync at segment seals), off")
+		snapEvery = flag.Int("snapshot-every", 0, "epochs between WAL snapshot records (0 = 256)")
 	)
 	flag.Parse()
 
@@ -65,6 +80,25 @@ func main() {
 	}
 
 	reg := obs.New()
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseFsync(*fsyncMode)
+		if err != nil {
+			fatalf("-fsync: %v", err)
+		}
+		st, err = store.Open(store.Options{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			SnapshotEvery: *snapEvery,
+			Obs:           reg,
+			Log:           log,
+		})
+		if err != nil {
+			fatalf("-data-dir: %v", err)
+		}
+		defer st.Close()
+		log.Info("durable session store open", "dir", st.Dir(), "fsync", policy.String())
+	}
 	s, err := server.Listen(*addr, server.Config{
 		MaxSessions:      *maxSessions,
 		MaxAnalyze:       *maxAnalyze,
@@ -76,6 +110,7 @@ func main() {
 		Log:              log,
 		TraceDir:         *traceDir,
 		FlightDepth:      *flightDepth,
+		Store:            st,
 	})
 	if err != nil {
 		fatalf("%v", err)

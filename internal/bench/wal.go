@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"butterfly/internal/client"
+	"butterfly/internal/epoch"
+	"butterfly/internal/server"
+	"butterfly/internal/store"
+	"butterfly/internal/trace"
+)
+
+// WAL durability ablation (DESIGN.md §14): the same workload through the
+// full butterflyd stack — client encode → TCP loopback → server → driver —
+// with the durable session store in each fsync policy, against the
+// in-memory server as baseline. The delta is what an Ack costs once it
+// implies persistence: `off` and `batched` pay only the WAL's buffered
+// write (page-cache durability, survives SIGKILL), `per-ack` adds an
+// fsync to every Ack round-trip (survives power loss).
+
+// WALRow is one durability mode of the ablation.
+type WALRow struct {
+	// Mode is "memory" (no store), "off", "batched" or "per-ack".
+	Mode    string
+	Events  int
+	Time    time.Duration // best wall time over the repetitions
+	Reports int
+}
+
+// EventsPerSec is the row's throughput.
+func (r *WALRow) EventsPerSec() float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Time.Seconds()
+}
+
+// walWorkloadGrid builds the server-throughput workload: four threads
+// hammering a small shared heap, dense epochs, steady report traffic.
+func walWorkloadGrid(events, h int) (*epoch.Grid, error) {
+	b := trace.NewBuilder(4)
+	for t := 0; t < 4; t++ {
+		b.T(trace.ThreadID(t))
+		if t == 0 {
+			for s := 0; s < 8; s++ {
+				b.Alloc(0x100+uint64(s)*8, 8)
+			}
+		}
+		for i := 0; i < events; i++ {
+			b.Read(0x100+uint64(i%8)*8, 4)
+		}
+	}
+	return epoch.ChunkByCount(b.Build(), h)
+}
+
+// WALAblation measures each durability mode reps times (best time wins).
+func WALAblation(o Options, reps int) ([]WALRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	g, err := walWorkloadGrid(o.scaled(16<<10), 64)
+	if err != nil {
+		return nil, err
+	}
+	var rows []WALRow
+	for _, mode := range []string{"memory", "off", "batched", "per-ack"} {
+		row := WALRow{Mode: mode, Events: g.TotalEvents()}
+		for i := 0; i < reps; i++ {
+			elapsed, reports, err := walRun(mode, g)
+			if err != nil {
+				return nil, fmt.Errorf("mode %s: %w", mode, err)
+			}
+			if i == 0 || elapsed < row.Time {
+				row.Time = elapsed
+			}
+			row.Reports = reports
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// walRun times one full session against a fresh server (and, durable modes,
+// a fresh store directory — the measured path is append, not recovery).
+func walRun(mode string, g *epoch.Grid) (time.Duration, int, error) {
+	cfg := server.Config{}
+	if mode != "memory" {
+		fsync, err := store.ParseFsync(mode)
+		if err != nil {
+			return 0, 0, err
+		}
+		dir, err := os.MkdirTemp("", "butterfly-walbench-*")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(store.Options{Dir: dir, Fsync: fsync})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	s, err := server.Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	go s.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	start := time.Now()
+	res, err := client.Run(s.Addr(), client.Options{}, epoch.NewGridRows(g))
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	if res.Events != g.TotalEvents() {
+		return 0, 0, fmt.Errorf("analyzed %d events, want %d", res.Events, g.TotalEvents())
+	}
+	return elapsed, len(res.Reports), nil
+}
+
+// RenderWALAblation prints the rows with slowdowns relative to the first
+// (in-memory) row.
+func RenderWALAblation(rows []WALRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: WAL durability policy (full client/server stack, 4 threads)\n")
+	fmt.Fprintf(&b, "%-8s %9s %11s %12s %9s %8s\n",
+		"fsync", "events", "time", "events/s", "vs mem", "reports")
+	var baseRate float64
+	for i := range rows {
+		r := &rows[i]
+		rate := r.EventsPerSec()
+		if i == 0 {
+			baseRate = rate
+		}
+		rel := 0.0
+		if baseRate > 0 {
+			rel = rate / baseRate
+		}
+		fmt.Fprintf(&b, "%-8s %9d %11s %12.0f %8.2fx %8d\n",
+			r.Mode, r.Events, r.Time.Round(time.Microsecond), rate, rel, r.Reports)
+	}
+	return b.String()
+}

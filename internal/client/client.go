@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -239,7 +240,7 @@ func (r *run) run() (*core.Result, error) {
 				backoff = r.opts.MaxBackoff
 			}
 		}
-		time.Sleep(backoff)
+		time.Sleep(jittered(backoff))
 		r.m.reconnects.Inc()
 	}
 }
@@ -299,10 +300,11 @@ func (r *run) attempt() (progress bool, err error) {
 	r.session = welcome.Session
 	if resumed {
 		r.log.Info("session resumed", "session", shortSession(welcome.Session),
-			"next_epoch", welcome.NextEpoch)
+			"next_epoch", welcome.NextEpoch, "server_recovered", welcome.Recovered)
 	} else {
 		r.log.Info("session open", "session", shortSession(welcome.Session),
-			"lifeguard", r.opts.Lifeguard, "threads", r.T, "shards", welcome.Shards)
+			"lifeguard", r.opts.Lifeguard, "threads", r.T, "shards", welcome.Shards,
+			"durable", welcome.Durable)
 	}
 
 	// Epochs below NextEpoch are checkpointed server-side: drop them from
@@ -548,6 +550,14 @@ func (r *run) sendEpoch(bw *bufio.Writer, num int, payload []byte) error {
 	r.opts.Trace.Span(traceTidSend, "send-epoch", start, time.Since(start), num)
 	r.m.bytesOut.Add(int64(len(payload)) + 5)
 	return nil
+}
+
+// jittered spreads a backoff delay by ±20%. A restarted butterflyd hands
+// every one of its sessions the same connection error at the same instant;
+// without jitter they all re-dial in lockstep at every backoff step — a
+// synchronized stampede aimed at a server that is busy replaying WALs.
+func jittered(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // shortSession trims a session token to its 12-hex-digit log label — the

@@ -94,6 +94,23 @@ const (
 	MetricServerFeedNs        = "server.feed.ns"         // wall time of one epoch tick incl. worker-slot wait
 	MetricServerAcquireWaitNs = "server.acquire_wait.ns" // worker-slot (backpressure) wait per epoch tick
 
+	// Durable session store (internal/store, DESIGN.md §14). The wal.*
+	// series exist globally and per session scope; the store.* recovery
+	// series are process-wide (recovery runs before any session scope
+	// exists).
+	MetricWALAppends     = "wal.appends"     // counter: records appended
+	MetricWALBytes       = "wal.bytes"       // counter: bytes appended (headers + payloads + CRCs)
+	MetricWALFsyncs      = "wal.fsyncs"      // counter: fsync calls issued
+	MetricWALFsyncNs     = "wal.fsync.ns"    // histogram: fsync latency
+	MetricWALSnapshots   = "wal.snapshots"   // counter: snapshot records written
+	MetricWALCompactions = "wal.compactions" // counter: sealed segments compacted
+	MetricWALDegraded    = "wal.degraded"    // counter: sessions dropped to in-memory mode on disk errors
+
+	MetricStoreRecoveredSessions = "store.recovered.sessions" // counter: sessions rebuilt at startup
+	MetricStoreRecoveredEpochs   = "store.recovered.epochs"   // counter: epoch records replayed at startup
+	MetricStoreRecoveryDropped   = "store.recovery.dropped"   // counter: unrecoverable session dirs discarded
+	MetricStoreRecoveryNs        = "store.recovery.ns"        // histogram: per-session replay wall time
+
 	// SessionScopePrefix + <short session id> + "." prefixes every metric of
 	// one butterflyd session's obs scope (Registry.Scope, DESIGN.md §13):
 	// "session.3f2a81c4d09e.driver.epochs" is session 3f2a81c4d09e's own

@@ -142,12 +142,21 @@ type Welcome struct {
 	// lifeguard runs unsharded), reported so clients can log the analysis
 	// configuration.
 	Shards int `json:"shards,omitempty"`
+	// Durable marks a session whose acknowledged epochs are persisted in the
+	// server's write-ahead log (DESIGN.md §14): every Ack also survives a
+	// butterflyd crash, not just a connection loss.
+	Durable bool `json:"durable,omitempty"`
+	// Recovered marks a session that was rebuilt from that log after a
+	// server restart — the client is resuming across a butterflyd death.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Reject refuses a Hello.
 type Reject struct {
 	// Code is machine-readable: "full", "draining", "bad-request",
-	// "unknown-session", "busy", "version".
+	// "unknown-session", "busy", "version", "lost-progress" (a restarted
+	// server recovered the session with fewer acknowledged epochs than the
+	// client has seen — possible only under `-fsync off`).
 	Code   string `json:"code"`
 	Reason string `json:"reason"`
 }

@@ -30,6 +30,13 @@ type sessionRow struct {
 	Attached  bool    `json:"attached"`
 	AgeS      float64 `json:"age_s"`
 
+	// Durability (DESIGN.md §14): Durable = acks persisted to the WAL;
+	// Degraded = dropped to in-memory mode after a disk error; Recovered =
+	// rebuilt from the log after a server restart.
+	Durable   bool `json:"durable,omitempty"`
+	Degraded  bool `json:"degraded,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+
 	// Progress and wire totals, from the session's scoped counters.
 	Epochs       int64 `json:"epochs"`
 	WindowEvents int64 `json:"window_events"`
@@ -83,6 +90,9 @@ func (s *Server) sessionRow(sess *session, attached bool) sessionRow {
 		Serial:           sess.hello.Serial,
 		Attached:         attached,
 		AgeS:             time.Since(sess.created).Seconds(),
+		Durable:          sess.durable(),
+		Degraded:         sess.degraded.Load(),
+		Recovered:        sess.recovered,
 		Epochs:           sess.sm.epochs.Value(),
 		WindowEvents:     sess.sm.windowEvents.Value(),
 		BytesIn:          sess.sm.bytesIn.Value(),

@@ -39,6 +39,7 @@ import (
 
 	"butterfly/internal/obs"
 	"butterfly/internal/proto"
+	"butterfly/internal/store"
 )
 
 // Config parameterizes a Server. The zero value is usable: Defaults fills
@@ -78,6 +79,12 @@ type Config struct {
 	TraceDir string
 	// FlightDepth sizes each session's flight-recorder ring. 0 → 256.
 	FlightDepth int
+	// Store, when non-nil, is the durable session store (internal/store,
+	// DESIGN.md §14): every session's epoch frames are written to a
+	// per-session WAL before each Ack, Listen rebuilds surviving sessions
+	// from the store directory by deterministic replay, and disk errors
+	// degrade the affected session to in-memory mode instead of failing it.
+	Store *store.Store
 }
 
 // withDefaults returns cfg with unset fields filled.
@@ -145,14 +152,18 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 	}
 }
 
-// Listen binds a butterflyd server to addr (":0" picks a free port).
+// Listen binds a butterflyd server to addr (":0" picks a free port). With a
+// durable store configured, sessions that survived a previous process are
+// rebuilt — replayed through fresh drivers and registered detached — before
+// the listener accepts anyone, so a resuming client can never race its own
+// recovery.
 func Listen(addr string, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
 		sem:      make(chan struct{}, cfg.MaxAnalyze),
@@ -161,7 +172,14 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		sessions: map[string]*session{},
 		conns:    map[net.Conn]struct{}{},
 		m:        newServerMetrics(cfg.Obs),
-	}, nil
+	}
+	if cfg.Store != nil {
+		if err := s.recoverSessions(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Addr returns the bound listen address.
@@ -233,7 +251,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	for _, sess := range victims {
-		s.cleanupSession(sess)
+		// dropWAL=false: a drained session's log stays on disk — surviving
+		// the restart is exactly what the durable store is for.
+		s.cleanupSession(sess, false)
 	}
 	return err
 }
@@ -264,11 +284,11 @@ func (s *Server) admit(h proto.Hello) (*session, *proto.Reject) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		sess.inc.Close()
+		s.cleanupSession(sess, true)
 		return nil, &proto.Reject{Code: "draining", Reason: "server is shutting down"}
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
-		sess.inc.Close()
+		s.cleanupSession(sess, true)
 		return nil, &proto.Reject{Code: "full",
 			Reason: fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
 	}
@@ -293,6 +313,15 @@ func (s *Server) reattach(h proto.Hello) (*session, *proto.Reject) {
 	if h.NumThreads != sess.hello.NumThreads || h.Lifeguard != sess.hello.Lifeguard {
 		return nil, &proto.Reject{Code: "bad-request", Reason: "resume Hello does not match the session"}
 	}
+	if h.AckedEpoch >= sess.inc.NextEpoch() {
+		// The client holds an Ack the session no longer covers: a restarted
+		// server recovered less progress than was promised (fsync=off after a
+		// power loss, or a degraded log). Resuming would silently re-analyze
+		// epochs the client already discarded — refuse instead.
+		return nil, &proto.Reject{Code: "lost-progress",
+			Reason: fmt.Sprintf("client acked epoch %d but the session resumes at %d",
+				h.AckedEpoch, sess.inc.NextEpoch())}
+	}
 	if sess.evictTimer != nil {
 		sess.evictTimer.Stop()
 		sess.evictTimer = nil
@@ -314,6 +343,17 @@ func (s *Server) detach(sess *session) {
 	sess.attached = false
 	s.m.active.Add(-1)
 	s.m.detached.Add(1)
+	s.startEvictTimerLocked(sess)
+	s.mu.Unlock()
+	sess.flight.Record(obs.FlightNote, -1, 0, 0, "detached")
+	s.log.Info("session detached", "session", sess.shortID, "trace", sess.traceID,
+		"epochs", sess.sm.epochs.Value())
+}
+
+// startEvictTimerLocked arms a detached session's grace timer. Caller holds
+// s.mu. Used by detach and by recovery, which registers rebuilt sessions as
+// detached: an owner that never returns must not pin them forever.
+func (s *Server) startEvictTimerLocked(sess *session) {
 	sess.evictTimer = time.AfterFunc(s.cfg.DetachGrace, func() {
 		s.mu.Lock()
 		if cur, ok := s.sessions[sess.id]; !ok || cur != sess || sess.attached {
@@ -326,12 +366,8 @@ func (s *Server) detach(sess *session) {
 		s.mu.Unlock()
 		s.log.Info("session evicted", "session", sess.shortID, "trace", sess.traceID,
 			"reason", "detach grace expired", "epochs", sess.sm.epochs.Value())
-		s.cleanupSession(sess)
+		s.cleanupSession(sess, true)
 	})
-	s.mu.Unlock()
-	sess.flight.Record(obs.FlightNote, -1, 0, 0, "detached")
-	s.log.Info("session detached", "session", sess.shortID, "trace", sess.traceID,
-		"epochs", sess.sm.epochs.Value())
 }
 
 // evict removes an attached session permanently (completion, quota breach,
@@ -358,18 +394,46 @@ func (s *Server) evict(sess *session, completed bool) {
 		s.log.Info("session completed", "session", sess.shortID, "trace", sess.traceID,
 			"epochs", sess.done.Epochs, "events", sess.done.Events, "reports", sess.done.Reports)
 	}
-	s.cleanupSession(sess)
+	s.cleanupSession(sess, true)
 }
 
 // cleanupSession releases everything a removed session holds: the pipeline
 // workers, its metric scope (bounding /metrics cardinality to live
-// sessions), and — when tracing — its trace file. Exactly one caller runs
-// this per session: evict, the grace timer, and Shutdown all race on the
-// registry delete and only the winner proceeds here.
-func (s *Server) cleanupSession(sess *session) {
+// sessions), its WAL, and — when tracing — its trace file. dropWAL deletes
+// the log's segments (eviction and completion: the session is over, its
+// durable state is garbage); Shutdown passes false so logs survive the
+// restart. Exactly one caller runs this per session: evict, the grace
+// timer, and Shutdown all race on the registry delete and only the winner
+// proceeds here.
+func (s *Server) cleanupSession(sess *session, dropWAL bool) {
 	sess.inc.Close()
+	if sess.wal != nil {
+		if dropWAL {
+			if err := sess.wal.Remove(); err != nil {
+				s.log.Warn("session wal not removed", "session", sess.shortID, "err", err.Error())
+			}
+		} else if err := sess.wal.Close(); err != nil {
+			s.log.Warn("session wal close failed", "session", sess.shortID, "err", err.Error())
+		}
+	}
 	sess.scope.Drop()
 	sess.writeTrace(s.cfg.TraceDir, s.log)
+}
+
+// degradeSession drops a session to in-memory mode after a WAL write
+// failure (ENOSPC, a yanked disk): the analysis continues, the durability
+// promise is withdrawn, and the half-written log is removed so a later
+// restart can never resurrect the session with less progress than this
+// process acknowledged.
+func (s *Server) degradeSession(sess *session, err error) {
+	sess.degraded.Store(true)
+	s.cfg.Store.DegradedCounter().Inc()
+	sess.flight.Record(obs.FlightError, -1, 0, 0, "wal degraded: "+err.Error())
+	s.log.Error("session degraded to in-memory mode", "session", sess.shortID,
+		"trace", sess.traceID, "err", err.Error())
+	if rerr := sess.wal.Remove(); rerr != nil {
+		s.log.Warn("degraded session wal not removed", "session", sess.shortID, "err", rerr.Error())
+	}
 }
 
 // handleConn runs one connection: Hello handshake, then the session loop.
@@ -456,7 +520,9 @@ func (s *Server) sessionError(bw *bufio.Writer, sess *session, code, reason stri
 // connection drops. acked is the client's last received Ack (−1 for none):
 // report frames after it are replayed before new input is consumed.
 func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, sess *session, acked int) {
-	welcome := proto.Welcome{Session: sess.id, NextEpoch: sess.inc.NextEpoch(), Finished: sess.finished, Shards: sess.inc.Shards()}
+	welcome := proto.Welcome{Session: sess.id, NextEpoch: sess.inc.NextEpoch(),
+		Finished: sess.finished, Shards: sess.inc.Shards(),
+		Durable: sess.durable(), Recovered: sess.recovered}
 	if err := proto.WriteJSON(bw, proto.FrameWelcome, welcome); err != nil {
 		s.detach(sess)
 		return
@@ -540,6 +606,20 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 				return
 			}
 			sess.recordReports(num, reps)
+			// Durability point: the epoch frame is appended (and, per the
+			// fsync policy, synced) before its Ack can go out, so every Ack
+			// the client ever sees names a tick a restarted server replays.
+			// Appending after FeedEpoch keeps poison frames out of the log: a
+			// frame the driver rejects is never durable state. On a write
+			// failure the session degrades and the Ack still goes out — the
+			// in-memory checkpoint contract of PR 4 is unchanged.
+			if sess.durable() {
+				if err := sess.wal.AppendEpoch(payload, store.Snapshot{
+					Acked: num, Epochs: sess.epochs, BytesIn: sess.bytesIn, Reports: sess.nreports,
+				}); err != nil {
+					s.degradeSession(sess, err)
+				}
+			}
 			if len(reps) > 0 {
 				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: num, Reports: reps}); err != nil {
 					s.detach(sess)
@@ -569,6 +649,13 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			sess.finished = true
 			sess.done = proto.Done{Epochs: res.Epochs, Events: res.Events, Reports: sess.nreports}
 			sess.flight.Record(obs.FlightNote, res.Epochs, 0, 0, "finished")
+			if sess.durable() {
+				if err := sess.wal.AppendFinish(sess.done, store.Snapshot{
+					Acked: res.Epochs - 1, Epochs: sess.epochs, BytesIn: sess.bytesIn, Reports: sess.nreports,
+				}); err != nil {
+					s.degradeSession(sess, err)
+				}
+			}
 			if len(res.Reports) > 0 {
 				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: res.Epochs, Reports: res.Reports}); err != nil {
 					s.detach(sess)

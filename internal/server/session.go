@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"butterfly/internal/core"
@@ -16,6 +17,7 @@ import (
 	"butterfly/internal/lifeguard/registry"
 	"butterfly/internal/obs"
 	"butterfly/internal/proto"
+	"butterfly/internal/store"
 	"butterfly/internal/trace"
 )
 
@@ -71,6 +73,16 @@ type session struct {
 
 	bytesIn int64
 	epochs  int64
+
+	// wal, when the server has a durable store, is this session's
+	// write-ahead log (DESIGN.md §14); it is written only by the attached
+	// goroutine. degraded flips when a disk error dropped the session to
+	// in-memory mode — atomic because /sessions reads it concurrently.
+	// recovered marks a session rebuilt from the log at startup; set before
+	// registration, immutable after.
+	wal       *store.Log
+	degraded  atomic.Bool
+	recovered bool
 
 	// finished is set once End was processed and Done computed.
 	finished bool
@@ -132,8 +144,45 @@ func sanitizeTraceID(id string) string {
 	return id
 }
 
-// newSession validates a fresh Hello and builds its session.
+// newSession validates a fresh Hello and builds its session; when the
+// server has a durable store the session's write-ahead log is opened too.
+// Store trouble downgrades the session to in-memory mode, it never refuses
+// the Hello: durability is best-effort, analysis is the contract.
 func (s *Server) newSession(h proto.Hello) (*session, *proto.Reject) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, &proto.Reject{Code: "internal", Reason: err.Error()}
+	}
+	sess, rej := s.buildSession(h, id)
+	if rej != nil {
+		return nil, rej
+	}
+	if s.cfg.Store != nil {
+		meta := store.Meta{Session: id, TraceID: sess.traceID, Hello: h,
+			CreatedUnixNs: sess.created.UnixNano()}
+		wal, err := s.cfg.Store.Create(id, meta, sess.scope)
+		if err != nil {
+			sess.degraded.Store(true)
+			s.cfg.Store.DegradedCounter().Inc()
+			s.log.Error("session store unavailable; session is in-memory only",
+				"session", sess.shortID, "trace", sess.traceID, "err", err.Error())
+		} else {
+			sess.wal = wal
+		}
+	}
+	return sess, nil
+}
+
+// durable reports whether the session's acks are being persisted.
+func (sess *session) durable() bool {
+	return sess.wal != nil && !sess.degraded.Load()
+}
+
+// buildSession constructs a session from a Hello and a session token — the
+// shared core of fresh admission (newSession) and crash recovery
+// (rebuildSession), so a recovered session is built by exactly the code
+// that built it the first time.
+func (s *Server) buildSession(h proto.Hello, id string) (*session, *proto.Reject) {
 	if h.NumThreads <= 0 || h.NumThreads > s.cfg.MaxThreads {
 		return nil, &proto.Reject{Code: "bad-request",
 			Reason: fmt.Sprintf("thread count %d outside 1..%d", h.NumThreads, s.cfg.MaxThreads)}
@@ -141,10 +190,6 @@ func (s *Server) newSession(h proto.Hello) (*session, *proto.Reject) {
 	lg, err := registry.New(h.Lifeguard, registry.Options{HeapBase: h.HeapBase, Relaxed: h.Relaxed})
 	if err != nil {
 		return nil, &proto.Reject{Code: "bad-request", Reason: err.Error()}
-	}
-	id, err := newSessionID()
-	if err != nil {
-		return nil, &proto.Reject{Code: "internal", Reason: err.Error()}
 	}
 	shortID := id[:12]
 	traceID := sanitizeTraceID(h.TraceID)

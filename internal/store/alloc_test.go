@@ -1,0 +1,72 @@
+package store
+
+// The WAL extension of the steady-state allocation gate (DESIGN.md §12):
+// durability must not reintroduce per-epoch heap allocations. AppendEpoch's
+// hot path is a scratch-buffer header write, two bufio copies and a
+// streaming CRC — zero allocations; snapshots (JSON marshal) and segment
+// rotation allocate but are amortized over SnapshotEvery/SegmentBytes. The
+// budget here covers the amortized whole, same spirit as
+// core.TestSteadyStateAllocBudget. `make bench-alloc` runs both.
+
+import (
+	"runtime"
+	"testing"
+)
+
+// walAllocBudget is the per-append allocation budget including amortized
+// snapshot and rotation costs. The raw append path measures 0; the
+// headroom absorbs the every-64th-epoch snapshot marshal.
+const walAllocBudget = 2
+
+func TestWALAppendAllocBudget(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race detector instruments allocations; counts are not meaningful")
+	}
+	st := openStore(t, Options{
+		Dir:           t.TempDir(),
+		Fsync:         FsyncOff, // isolate allocation, not sync latency
+		SnapshotEvery: 64,
+		SegmentBytes:  64 << 20, // no rotation inside the measured window
+	})
+	id := testID(42)
+	l, err := st.Create(id, testMeta(id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	payload := epochPayload(0, make([]byte, 512))
+	snap := Snapshot{}
+	next := 0
+	feed := func() {
+		// Epoch numbers < 128 encode as a one-byte uvarint, so in-place
+		// stamping keeps the payload honest without allocating. The test
+		// never exceeds 116 appends.
+		payload[0] = byte(next)
+		snap.Acked = next
+		snap.Epochs = int64(next + 1)
+		if err := l.AppendEpoch(payload, snap); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+
+	const warm, measured = 16, 100
+	for i := 0; i < warm; i++ {
+		feed()
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < measured; i++ {
+		feed()
+	}
+	runtime.ReadMemStats(&after)
+	perAppend := float64(after.Mallocs-before.Mallocs) / float64(measured)
+	t.Logf("wal append: %.2f allocs/epoch over %d appends (budget %d)",
+		perAppend, measured, walAllocBudget)
+	if perAppend > walAllocBudget {
+		t.Fatalf("WAL append path regressed: %.2f allocs/epoch exceeds budget %d",
+			perAppend, walAllocBudget)
+	}
+}

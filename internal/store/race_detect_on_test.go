@@ -1,0 +1,6 @@
+//go:build race
+
+package store
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+const raceDetectorEnabled = true

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// kickWriteback falls back to a full fsync where sync_file_range is
+// unavailable: the batched policy then has per-ack's durability at
+// 1/BatchEvery of its fsync count.
+func kickWriteback(f *os.File) error { return f.Sync() }
