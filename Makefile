@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check fuzz fuzz-smoke test-shards bench bench-obs bench-obs-smoke bench-shards bench-alloc bench-wal soak crash-soak serve-bench ci clean
+.PHONY: all build test race vet fmt-check lint fuzz fuzz-smoke test-shards bench bench-obs bench-obs-smoke bench-shards bench-alloc bench-wal soak crash-soak chaos serve-bench ci clean
 
 all: build
 
@@ -18,6 +18,9 @@ vet:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static gate: formatting plus go vet, the cheap checks a change runs first.
+lint: fmt-check vet
 
 race:
 	$(GO) test -race ./...
@@ -74,6 +77,16 @@ soak:
 crash-soak:
 	$(GO) test ./internal/server -race -count=1 -run 'TestCrashSoak'
 
+# The chaos gate (DESIGN.md §15): the failpoint plane's unit tests, then the
+# fault-policy matrix (every registered site, store cells per fsync policy)
+# against the multi-session differential soak plus the degraded-mode
+# re-entry check — all under -race and the failpoints build tag. The default
+# build compiles every failpoint hook to an inlinable no-op; this target is
+# the only place the armed implementation runs.
+chaos:
+	$(GO) test ./internal/failpoint -race -count=1 -tags failpoints
+	$(GO) test ./internal/server -race -count=1 -tags failpoints -run 'TestChaos|TestDegradedReentry'
+
 # End-to-end server throughput: client encode -> TCP -> decode -> analysis.
 serve-bench:
 	$(GO) test ./internal/server -run XXX -bench 'BenchmarkServerThroughput$$' -benchtime 5x -count 2 -benchmem
@@ -97,16 +110,17 @@ bench-obs-smoke:
 	$(GO) test ./internal/core -run XXX -bench BenchmarkDriverStreamObs -benchtime 1x
 	$(GO) test ./internal/server -run XXX -bench BenchmarkServerThroughputObs -benchtime 1x
 
-# The gate a change must pass before it lands. `fmt-check` keeps the tree
-# gofmt-clean; `race` runs the full test suite (including the butterflyd
-# soak) under the race detector; `soak`, `crash-soak` and `test-shards`
-# repeat the server, kill -9 and shard differentials explicitly so a cached
-# `race` run cannot mask them, `fuzz-smoke` gives each decoder fuzzer a
-# short budget beyond its checked-in seed corpus, `bench-alloc` fails the
-# build if the steady-state epoch loop or the WAL append path starts
-# allocating again, and `bench-obs-smoke` proves the instrumented driver
-# and server paths still run end to end.
-ci: fmt-check vet build race soak crash-soak test-shards fuzz-smoke bench-alloc bench-obs-smoke
+# The gate a change must pass before it lands. `lint` keeps the tree
+# gofmt-clean and vet-clean; `race` runs the full test suite (including the
+# butterflyd soak) under the race detector; `soak`, `crash-soak`,
+# `test-shards` and `chaos` repeat the server, kill -9, shard and
+# fault-injection differentials explicitly so a cached `race` run cannot
+# mask them, `fuzz-smoke` gives each decoder fuzzer a short budget beyond
+# its checked-in seed corpus, `bench-alloc` fails the build if the
+# steady-state epoch loop or the WAL append path starts allocating again,
+# and `bench-obs-smoke` proves the instrumented driver and server paths
+# still run end to end.
+ci: lint build race soak crash-soak test-shards chaos fuzz-smoke bench-alloc bench-obs-smoke
 
 clean:
 	rm -f core.test server.test cpu.prof mem.prof

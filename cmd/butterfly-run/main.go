@@ -56,6 +56,7 @@ import (
 	"butterfly/internal/client"
 	"butterfly/internal/core"
 	"butterfly/internal/epoch"
+	"butterfly/internal/failpoint"
 	"butterfly/internal/interleave"
 	"butterfly/internal/lifeguard"
 	"butterfly/internal/lifeguard/registry"
@@ -78,6 +79,9 @@ func main() {
 		remote   = flag.String("remote", "", "run the analysis on the butterflyd at this host:port instead of in-process")
 		exitCode = flag.Bool("exit-code", false, "exit 2 if the analysis produced any reports")
 
+		reconnectMax = flag.Duration("reconnect-max", 0, "-remote: give up after this much wall-clock time without server progress (0 = retry-count limit only)")
+		failpoints   = flag.String("failpoints", "", "fault-injection spec, e.g. 'client.dial=2*error' (requires a binary built with -tags failpoints; also read from $"+failpoint.EnvVar+")")
+
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 		stats     = flag.Bool("stats", false, "print an end-of-run metrics summary (epochs/sec, stage p50/p99, peak window)")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto); in-process: one span per (epoch, thread, stage); -remote: dial and send spans, mergeable with the server's trace")
@@ -90,6 +94,11 @@ func main() {
 	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// Arm fault injection first; a stub binary refuses a non-empty spec
+	// loudly instead of silently running fault-free.
+	if err := failpoint.Setup(*failpoints); err != nil {
+		fatalf("-failpoints: %v", err)
 	}
 	if *stream {
 		if *text || *compare || *h > 0 {
@@ -185,13 +194,14 @@ func main() {
 			src = epoch.NewGridRows(g)
 		}
 		res, err = client.Run(*remote, client.Options{
-			Lifeguard: *lgName,
-			HeapBase:  *heapBase,
-			Relaxed:   *relaxed,
-			Serial:    *seq,
-			Obs:       reg,
-			Log:       log,
-			Trace:     rec,
+			Lifeguard:    *lgName,
+			HeapBase:     *heapBase,
+			Relaxed:      *relaxed,
+			Serial:       *seq,
+			Obs:          reg,
+			Log:          log,
+			Trace:        rec,
+			ReconnectMax: *reconnectMax,
 		}, src)
 		if errors.Is(err, client.ErrUnreachable) {
 			// The service never answered: say that plainly instead of

@@ -30,6 +30,14 @@
 // per-ack also survives power loss) and -snapshot-every the progress
 // cursor cadence. Disk errors degrade a session to in-memory instead of
 // killing it.
+//
+// Robustness (DESIGN.md §15): a panicking lifeguard quarantines only its
+// own session; -write-timeout detaches slow readers (repeat offenders are
+// evicted); -mem-budget/-session-mem-budget bound analysis-state memory
+// (global pressure sheds idle sessions and rejects resumes with
+// "overloaded", a per-session breach aborts with "quota-mem"). A binary
+// built with -tags failpoints accepts -failpoints (or
+// $BUTTERFLY_FAILPOINTS) to inject deterministic faults for chaos testing.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"butterfly/internal/failpoint"
 	"butterfly/internal/obs"
 	"butterfly/internal/server"
 	"butterfly/internal/store"
@@ -66,8 +75,20 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable session store directory: sessions survive server restarts via per-session write-ahead logs (empty = in-memory only)")
 		fsyncMode = flag.String("fsync", "batched", "WAL durability policy: per-ack (fsync before every Ack), batched (group writeback, fsync at segment seals), off")
 		snapEvery = flag.Int("snapshot-every", 0, "epochs between WAL snapshot records (0 = 256)")
+
+		memBudget    = flag.Int64("mem-budget", 0, "global analysis-state memory budget in bytes; over budget, idle sessions are shed and resumes rejected with 'overloaded' (0 = unlimited)")
+		sessBudget   = flag.Int64("session-mem-budget", 0, "per-session analysis-state memory budget in bytes; a session over budget is aborted with 'quota-mem' (0 = unlimited)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-write deadline on session connections; slow clients are detached, repeat offenders evicted (0 = 30s, negative = no deadline)")
+		failpoints   = flag.String("failpoints", "", "fault-injection spec, e.g. 'store.fsync=error%3,server.feed=1*panic' (requires a binary built with -tags failpoints; also read from $"+failpoint.EnvVar+")")
 	)
 	flag.Parse()
+
+	// Arm fault injection before anything touches disk or the network. On a
+	// binary built without -tags failpoints, a non-empty spec is refused
+	// loudly here — a chaos plan must never be silently ignored.
+	if err := failpoint.Setup(*failpoints); err != nil {
+		fatalf("-failpoints: %v", err)
+	}
 
 	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -111,6 +132,9 @@ func main() {
 		TraceDir:         *traceDir,
 		FlightDepth:      *flightDepth,
 		Store:            st,
+		MemBudget:        *memBudget,
+		SessionMemBudget: *sessBudget,
+		WriteTimeout:     *writeTimeout,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -27,6 +27,7 @@ import (
 
 	"butterfly/internal/core"
 	"butterfly/internal/epoch"
+	"butterfly/internal/failpoint"
 	"butterfly/internal/obs"
 	"butterfly/internal/proto"
 	"butterfly/internal/trace"
@@ -60,6 +61,13 @@ type Options struct {
 	// MaxInflight bounds epochs sent but not yet acknowledged (and thus
 	// buffered for replay). 0 → 256.
 	MaxInflight int
+	// ReconnectMax bounds one outage's total wall-clock duration: once the
+	// first failed attempt of an outage is ReconnectMax old with no progress
+	// since, the run gives up even if MaxRetries would allow further
+	// attempts — a permanently dead server fails the run in bounded time
+	// (with ErrUnreachable when no handshake ever completed). 0 → no
+	// wall-clock bound; MaxRetries alone decides.
+	ReconnectMax time.Duration
 
 	// Obs, when non-nil, receives client telemetry (dial attempts,
 	// reconnects, bytes out, acks).
@@ -208,6 +216,7 @@ func (r *run) run() (*core.Result, error) {
 	r.acked = -1
 	started := time.Now()
 	failures := 0
+	var outageStart time.Time // first failed attempt of the current outage
 	for {
 		progress, err := r.attempt()
 		if r.fatal() != nil {
@@ -218,17 +227,27 @@ func (r *run) run() (*core.Result, error) {
 		}
 		if progress {
 			failures = 0
+			outageStart = time.Time{}
 		} else {
 			failures++
+			if outageStart.IsZero() {
+				outageStart = time.Now()
+			}
 		}
 		if err != nil {
 			r.log.Warn("connection attempt failed", "addr", r.addr,
 				"consecutive_failures", failures, "err", err.Error())
 		}
-		if failures > r.opts.MaxRetries {
+		outageTooLong := r.opts.ReconnectMax > 0 && !outageStart.IsZero() &&
+			time.Since(outageStart) >= r.opts.ReconnectMax
+		if failures > r.opts.MaxRetries || outageTooLong {
 			if !r.everWelcomed {
 				return nil, fmt.Errorf("client: %w: %s refused %d consecutive attempts over %v: %w",
 					ErrUnreachable, r.addr, failures, time.Since(started).Round(time.Millisecond), err)
+			}
+			if outageTooLong {
+				return nil, fmt.Errorf("client: giving up after %v without progress (%d failed attempts): %w",
+					time.Since(outageStart).Round(time.Millisecond), failures, err)
 			}
 			return nil, fmt.Errorf("client: giving up after %d consecutive failed attempts: %w",
 				failures, err)
@@ -264,6 +283,9 @@ func (r *run) attempt() (progress bool, err error) {
 	ackedBefore := r.ackedNow()
 
 	dialStart := time.Now()
+	if err := failpoint.Inject(failpoint.SiteClientDial); err != nil {
+		return false, fmt.Errorf("client: dial %s: %w", r.addr, err)
+	}
 	conn, err := r.opts.Dial(r.addr)
 	if err != nil {
 		return false, fmt.Errorf("client: dial %s: %w", r.addr, err)
@@ -396,9 +418,12 @@ func (r *run) readWelcome(br *bufio.Reader) (*proto.Welcome, error) {
 			return nil, fmt.Errorf("client: malformed Reject: %w", err)
 		}
 		err = fmt.Errorf("client: server rejected session (%s): %s", rej.Code, rej.Reason)
-		if rej.Code == "busy" {
-			// A resume can outrun the server noticing the old connection
-			// died; the next attempt will find the session detached.
+		if rej.Code == "busy" || rej.Code == "overloaded" {
+			// busy: a resume can outrun the server noticing the old
+			// connection died; the next attempt will find the session
+			// detached. overloaded: the memory budget shed this session —
+			// the run loop's exponential backoff IS the client's side of
+			// the load-shedding contract.
 			return nil, err
 		}
 		// Other rejections are decisions, not failures: retrying would spam
@@ -413,6 +438,10 @@ func (r *run) readWelcome(br *bufio.Reader) (*proto.Welcome, error) {
 // readLoop consumes server frames until Done or a transport error.
 func (r *run) readLoop(br *bufio.Reader) {
 	for {
+		if err := failpoint.Inject(failpoint.SiteClientRead); err != nil {
+			r.setConnErr(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
 		ft, payload, err := proto.ReadFrame(br)
 		if err != nil {
 			r.setConnErr(fmt.Errorf("client: connection lost: %w", err))
@@ -541,6 +570,9 @@ func (r *run) stalled() error {
 
 func (r *run) sendEpoch(bw *bufio.Writer, num int, payload []byte) error {
 	start := time.Now()
+	if err := failpoint.Inject(failpoint.SiteClientSend); err != nil {
+		return err
+	}
 	if err := proto.WriteFrame(bw, proto.FrameEpoch, payload); err != nil {
 		return err
 	}

@@ -108,6 +108,35 @@ func (inc *Incremental) NextEpoch() int { return inc.st.l }
 // pipelined reports whether per-thread pipeline workers are running.
 func (inc *Incremental) pipelined() bool { return inc.st.pipe != nil }
 
+// Per-unit constants for MemEstimate. Deliberately coarse: an event held in
+// the sliding window costs its decoded representation plus its share of
+// summaries and wing folds; an SOS fact costs its set entry plus hash
+// overhead. The budget plane needs a stable, cheap, monotone-ish signal, not
+// an accountant.
+const (
+	memPerWindowEvent = 192 // bytes per event retained in the window
+	memPerSOSFact     = 96  // bytes per lifeguard SOS fact
+)
+
+// MemEstimate returns a coarse estimate of the bytes this driver currently
+// holds: the events of the retained window rows plus the lifeguard's SOS
+// cardinality when it exposes one (StateSizer). The butterflyd memory-budget
+// plane sums these across sessions to decide admission and load shedding;
+// the estimate is read between feeds, from the feeding goroutine.
+func (inc *Incremental) MemEstimate() int64 {
+	st := inc.st
+	var est int64
+	for _, v := range st.winEvents {
+		est += int64(v) * memPerWindowEvent
+	}
+	if sizer, ok := st.d.LG.(StateSizer); ok && st.sosCur != nil {
+		// sosCur may be a sharded representation; StateSize already handles
+		// both (sosUpdated feeds it the same values).
+		est += int64(sizer.StateSize(st.sosCur)) * memPerSOSFact
+	}
+	return est
+}
+
 // SetRowRecycler registers a callback that receives each fed epoch row once
 // the sliding window no longer references it: epoch l's row is released
 // during the feed of epoch l+1 (or at Finish), after its second pass has

@@ -79,19 +79,27 @@ func (sh *Sharding) Do(f func(k int)) {
 		}
 		return
 	}
+	// A panicking shard task is boxed and re-panicked after the join: every
+	// sibling still completes and wg.Wait() returns, and the panic surfaces
+	// on Do's caller — a pass worker whose own box (or the serial feeding
+	// goroutine) carries it the rest of the way. capture passes an existing
+	// *WorkerPanic through unwrapped, so nesting keeps the original stack.
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(sh.k)
 	for k := 0; k < sh.k; k++ {
 		go func(k int) {
 			defer wg.Done()
+			defer box.capture()
 			sh.m.shardTaskStart()
+			defer sh.m.shardTaskEnd()
 			start := sh.m.now()
 			f(k)
 			sh.m.shardTaskDone(k, start)
-			sh.m.shardTaskEnd()
 		}(k)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // newSharding resolves the driver's Shards knob against the lifeguard: a

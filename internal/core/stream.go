@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"butterfly/internal/epoch"
+	"butterfly/internal/failpoint"
 )
 
 // This file implements the streaming, pipelined execution mode of the
@@ -209,9 +210,13 @@ type streamState struct {
 	m    *driverMetrics
 
 	// winEvents[k%streamWindow] is epoch k's event count for the epochs the
-	// window retains; its sum is the window.events gauge. Maintained only
-	// when metrics are attached.
+	// window retains; its sum is the window.events gauge and the basis of
+	// memEstimate, so it is maintained unconditionally.
 	winEvents [streamWindow]int
+
+	// panics collects the first panic erupting on a pipeline-worker or shard
+	// goroutine; exec re-panics it on the feeding goroutine (panic.go).
+	panics panicBox
 
 	// sums[k%streamWindow] holds epoch k's summaries for k in l−3..l.
 	sums [streamWindow][]Summary
@@ -339,6 +344,7 @@ func (st *streamState) tick(row []*epoch.Block) {
 		runS:        l >= 1,
 		wa:          st.wa,
 		m:           st.m,
+		panics:      &st.panics,
 		epoch:       l,
 		fBlocks:     row,
 		fOut:        st.takeSlot(l),
@@ -376,8 +382,8 @@ func (st *streamState) tick(row []*epoch.Block) {
 		st.m.stageDone(stageSOSUpdate, l+1, tidDriver, start)
 		st.m.sosUpdated(sosNext)
 	}
+	st.winEvents[l%streamWindow] = rowEvents
 	if st.m != nil {
-		st.winEvents[l%streamWindow] = rowEvents
 		var held int64
 		for _, v := range st.winEvents {
 			held += int64(v)
@@ -422,6 +428,7 @@ func (st *streamState) finish() {
 		runS:    true,
 		wa:      st.wa,
 		m:       st.m,
+		panics:  &st.panics,
 		epoch:   L,
 		sBlocks: st.prevBlocks,
 		sctx:    PassContext{SOS: st.sosPrev, Epoch1Back: st.rowSums(L - 2), Epoch2Back: st.rowSums(L - 3), Sharding: st.sh},
@@ -491,6 +498,10 @@ func (st *streamState) exec(w *tickWork) {
 	}
 	if st.pipe != nil {
 		st.pipe.run(w)
+		// A panic on a worker goroutine was boxed so the tick's barriers
+		// could complete; surface it here, on the feeding goroutine, where
+		// the server's recover can quarantine just this session.
+		w.panics.rethrow()
 		return
 	}
 	// Serial: all first passes, then all second passes — the same order the
@@ -530,6 +541,7 @@ type tickWork struct {
 	runF, runS bool
 	wa         WingAggregator // non-nil when the lifeguard aggregates wings
 	m          *driverMetrics // nil when the driver is uninstrumented
+	panics     *panicBox      // collects worker panics (owned by streamState)
 	epoch      int            // l: the first-pass epoch (second pass covers l−1)
 
 	// First pass over epoch l.
@@ -570,8 +582,33 @@ func (w *tickWork) foldAggs() {
 	}
 }
 
+// The safe* wrappers box a panicking pass into w.panics via a direct defer
+// (no closure, so the zero-panic path is allocation-free — the steady-state
+// alloc budget covers these calls).
+func (w *tickWork) safeFirstPass(lg Lifeguard, t int) {
+	defer w.panics.capture()
+	w.firstPass(lg, t)
+}
+
+func (w *tickWork) safeSecondPass(lg Lifeguard, t int) {
+	defer w.panics.capture()
+	w.secondPass(lg, t)
+}
+
+func (w *tickWork) safeFoldAggs() {
+	defer w.panics.capture()
+	w.foldAggs()
+}
+
 // firstPass runs thread t's first pass.
 func (w *tickWork) firstPass(lg Lifeguard, t int) {
+	// core.pass erupts here — on a pipeline-worker or shard goroutine in
+	// parallel runs — so the chaos matrix proves panic containment where it
+	// is hardest, not just on the feeding goroutine. Error policies panic
+	// too: analysis itself has no error channel.
+	if err := failpoint.Inject(failpoint.SiteCorePass); err != nil {
+		panic(err)
+	}
 	c := w.fctx
 	if c.Epoch1Back != nil {
 		c.Head = c.Epoch1Back[t]
@@ -650,9 +687,13 @@ func (p *streamPipeline) shutdown() {
 func (p *streamPipeline) worker(t int) {
 	for w := range p.start[t] {
 		m := w.m
+		// Every pass runs boxed: a panicking lifeguard is captured, and the
+		// worker still arrives at each barrier and done.Done() below — a
+		// worker that died mid-tick would deadlock its siblings. exec
+		// re-panics the first capture on the feeding goroutine.
 		if w.runF {
 			start := m.now()
-			w.firstPass(p.lg, t)
+			w.safeFirstPass(p.lg, t)
 			m.stageDone(stageFirstPass, w.epoch, tidWorker(t), start)
 		}
 		// All first passes complete before any second pass reads the new
@@ -664,7 +705,7 @@ func (p *streamPipeline) worker(t int) {
 			// Worker 0 folds the fresh row's wing aggregates while the
 			// others wait; the extra barrier publishes the fold.
 			if t == 0 {
-				w.foldAggs()
+				w.safeFoldAggs()
 			}
 			bstart = m.now()
 			p.bar.await()
@@ -672,7 +713,7 @@ func (p *streamPipeline) worker(t int) {
 		}
 		if w.runS {
 			start := m.now()
-			w.secondPass(p.lg, t)
+			w.safeSecondPass(p.lg, t)
 			m.stageDone(stageSecondPass, w.epoch-1, tidWorker(t), start)
 		}
 		p.done.Done()

@@ -1,0 +1,296 @@
+//go:build failpoints
+
+package failpoint
+
+// The armed implementation: built only under the `failpoints` tag (`make
+// chaos`). All state is process-global — faults are a test-harness concern,
+// and one process hosts one fault plan at a time. Every hook takes one
+// mutex-guarded map lookup; the chaos gate measures correctness, not
+// throughput, so simplicity wins over the lock-free tricks the rest of the
+// codebase plays.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether this binary can inject faults.
+func Enabled() bool { return true }
+
+type kind int
+
+const (
+	kindError kind = iota
+	kindPanic
+	kindDelay
+	kindShortWrite
+	kindCorrupt
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindPanic:
+		return "panic"
+	case kindDelay:
+		return "delay"
+	case kindShortWrite:
+		return "shortwrite"
+	case kindCorrupt:
+		return "corrupt"
+	}
+	return "error"
+}
+
+// policy is one armed site: what to do, how often, and how many times.
+type policy struct {
+	kind  kind
+	count int64 // fires remaining; -1 = unlimited
+	every int64 // fire on every Nth evaluation (1 = all)
+	seen  int64 // evaluations so far
+	delay time.Duration
+	n     int // shortwrite byte budget
+}
+
+var (
+	mu       sync.Mutex
+	armed    = map[string]*policy{}
+	hits     = map[string]int64{}
+	observer func(site string)
+)
+
+// Setup arms the plane from a spec (comma-separated site=policy pairs),
+// falling back to $BUTTERFLY_FAILPOINTS when spec is empty. Any previous
+// arming is cleared first, so Setup is the one-call process initializer.
+func Setup(spec string) error {
+	Reset()
+	if spec == "" {
+		spec = os.Getenv(EnvVar)
+	}
+	if spec == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		site, pol, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: %q is not site=policy", pair)
+		}
+		if err := Enable(strings.TrimSpace(site), strings.TrimSpace(pol)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Enable arms one site with a policy, replacing any previous arming.
+func Enable(site, spec string) error {
+	if !IsSite(site) {
+		return fmt.Errorf("failpoint: unknown site %q", site)
+	}
+	p, err := parsePolicy(spec)
+	if err != nil {
+		return fmt.Errorf("failpoint: site %s: %w", site, err)
+	}
+	mu.Lock()
+	armed[site] = p
+	mu.Unlock()
+	return nil
+}
+
+// Disable disarms one site.
+func Disable(site string) {
+	mu.Lock()
+	delete(armed, site)
+	mu.Unlock()
+}
+
+// Reset disarms every site and clears the hit counters.
+func Reset() {
+	mu.Lock()
+	armed = map[string]*policy{}
+	hits = map[string]int64{}
+	mu.Unlock()
+}
+
+// SetObserver registers a callback invoked once per injected fault (the
+// fault.injected metric hook). Pass nil to clear.
+func SetObserver(fn func(site string)) {
+	mu.Lock()
+	observer = fn
+	mu.Unlock()
+}
+
+// Hits returns how many faults the site has injected since the last Reset.
+func Hits(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[site]
+}
+
+// parsePolicy parses `[COUNT*]KIND[(ARG)][%EVERY]`.
+func parsePolicy(spec string) (*policy, error) {
+	p := &policy{count: -1, every: 1}
+	s := spec
+	if head, rest, ok := strings.Cut(s, "*"); ok {
+		c, err := strconv.ParseInt(head, 10, 64)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("bad count in %q", spec)
+		}
+		p.count, s = c, rest
+	}
+	if rest, tail, ok := strings.Cut(s, "%"); ok {
+		n, err := strconv.ParseInt(tail, 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad %%N in %q", spec)
+		}
+		p.every, s = n, rest
+	}
+	var arg string
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("unclosed argument in %q", spec)
+		}
+		arg, s = s[i+1:len(s)-1], s[:i]
+	}
+	switch s {
+	case "error":
+		p.kind = kindError
+	case "panic":
+		p.kind = kindPanic
+	case "corrupt":
+		p.kind = kindCorrupt
+	case "delay":
+		p.kind = kindDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("delay needs a positive duration, got %q", arg)
+		}
+		p.delay = d
+		arg = ""
+	case "shortwrite":
+		p.kind = kindShortWrite
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("shortwrite needs a byte count, got %q", arg)
+		}
+		p.n = n
+		arg = ""
+	default:
+		return nil, fmt.Errorf("unknown policy kind %q", s)
+	}
+	if arg != "" {
+		return nil, fmt.Errorf("%s takes no argument", p.kind)
+	}
+	return p, nil
+}
+
+// eval consumes one evaluation of the site's policy and returns a copy of
+// the policy if it fired this time, nil otherwise.
+func eval(site string) *policy {
+	mu.Lock()
+	p := armed[site]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	p.seen++
+	if p.seen%p.every != 0 || p.count == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if p.count > 0 {
+		p.count--
+	}
+	hits[site]++
+	obs := observer
+	fired := *p
+	mu.Unlock()
+	if obs != nil {
+		obs(site)
+	}
+	return &fired
+}
+
+// Inject evaluates the site's policy: an error policy returns a wrapped
+// ErrInjected, panic panics, delay sleeps and returns nil. Sites whose
+// faults are data transformations (corrupt) or writer behaviors (shortwrite)
+// use Fire and Writer instead; those kinds degenerate to an error here so a
+// misconfigured plan is loud, never silent.
+func Inject(site string) error {
+	p := eval(site)
+	if p == nil {
+		return nil
+	}
+	switch p.kind {
+	case kindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", site))
+	case kindDelay:
+		time.Sleep(p.delay)
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// Fire reports whether the site fired this evaluation — the hook for sites
+// whose fault the caller applies itself (decode corruption). Panic and delay
+// policies keep their Inject semantics.
+func Fire(site string) bool {
+	p := eval(site)
+	if p == nil {
+		return false
+	}
+	switch p.kind {
+	case kindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", site))
+	case kindDelay:
+		time.Sleep(p.delay)
+		return false
+	}
+	return true
+}
+
+// Writer wraps w with the site's write-fault behavior: shortwrite truncates
+// one Write and reports an injected error, error fails the Write outright,
+// delay stalls it, panic panics. Unarmed sites pass through untouched (one
+// map lookup per Write).
+func Writer(site string, w io.Writer) io.Writer {
+	return &faultWriter{site: site, w: w}
+}
+
+type faultWriter struct {
+	site string
+	w    io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	fp := eval(fw.site)
+	if fp == nil {
+		return fw.w.Write(p)
+	}
+	switch fp.kind {
+	case kindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", fw.site))
+	case kindDelay:
+		time.Sleep(fp.delay)
+		return fw.w.Write(p)
+	case kindShortWrite:
+		n := fp.n
+		if n > len(p) {
+			n = len(p)
+		}
+		m, err := fw.w.Write(p[:n])
+		if err != nil {
+			return m, err
+		}
+		return m, fmt.Errorf("%w at %s: short write (%d of %d bytes)", ErrInjected, fw.site, m, len(p))
+	}
+	return 0, fmt.Errorf("%w at %s", ErrInjected, fw.site)
+}

@@ -1,0 +1,182 @@
+//go:build failpoints
+
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPolicyCountAndEvery(t *testing.T) {
+	defer Reset()
+	if err := Setup("store.append=2*error%3"); err != nil {
+		t.Fatal(err)
+	}
+	var errs int
+	for i := 0; i < 12; i++ {
+		if err := Inject(SiteStoreAppend); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("eval %d: error does not wrap ErrInjected: %v", i, err)
+			}
+			errs++
+		}
+	}
+	// every 3rd evaluation fires, at most twice: evaluations 3 and 6.
+	if errs != 2 {
+		t.Fatalf("fired %d times, want 2", errs)
+	}
+	if got := Hits(SiteStoreAppend); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestUnlimitedError(t *testing.T) {
+	defer Reset()
+	if err := Enable(SiteStoreFsync, "error"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if Inject(SiteStoreFsync) == nil {
+			t.Fatalf("evaluation %d did not fire", i)
+		}
+	}
+}
+
+func TestPanicPolicy(t *testing.T) {
+	defer Reset()
+	if err := Enable(SiteServerFeed, "1*panic"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic")
+			}
+			if !strings.Contains(r.(string), SiteServerFeed) {
+				t.Fatalf("panic value %q does not name the site", r)
+			}
+		}()
+		Inject(SiteServerFeed) //nolint:errcheck // panics
+	}()
+	// Count exhausted: the site is healed.
+	if err := Inject(SiteServerFeed); err != nil {
+		t.Fatalf("second evaluation fired: %v", err)
+	}
+}
+
+func TestDelayPolicy(t *testing.T) {
+	defer Reset()
+	if err := Enable(SiteServerRead, "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject(SiteServerRead); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay slept %v, want >= 30ms", d)
+	}
+}
+
+func TestFireCorrupt(t *testing.T) {
+	defer Reset()
+	if err := Enable(SiteProtoDecode, "1*corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if !Fire(SiteProtoDecode) {
+		t.Fatal("corrupt policy did not fire")
+	}
+	if Fire(SiteProtoDecode) {
+		t.Fatal("corrupt policy fired twice with count 1")
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	defer Reset()
+	if err := Enable(SiteStoreWrite, "1*shortwrite(3)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := Writer(SiteStoreWrite, &buf)
+	n, err := w.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if buf.String() != "abc" {
+		t.Fatalf("wrote %q, want %q", buf.String(), "abc")
+	}
+	// Healed: the wrapper passes through.
+	if n, err := w.Write([]byte("gh")); n != 2 || err != nil {
+		t.Fatalf("post-heal write = (%d, %v)", n, err)
+	}
+}
+
+func TestWriterErrorPolicy(t *testing.T) {
+	defer Reset()
+	if err := Enable(SiteServerWrite, "1*error"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := Writer(SiteServerWrite, &buf)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error policy Write = %v, want ErrInjected", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("error policy wrote through")
+	}
+}
+
+func TestSetupEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv(EnvVar, "client.dial=1*error")
+	if err := Setup(""); err != nil {
+		t.Fatal(err)
+	}
+	if Inject(SiteClientDial) == nil {
+		t.Fatal("env-armed site did not fire")
+	}
+}
+
+func TestObserver(t *testing.T) {
+	defer Reset()
+	defer SetObserver(nil)
+	var seen []string
+	SetObserver(func(site string) { seen = append(seen, site) })
+	if err := Enable(SiteClientSend, "2*error"); err != nil {
+		t.Fatal(err)
+	}
+	Inject(SiteClientSend) //nolint:errcheck
+	Inject(SiteClientSend) //nolint:errcheck
+	Inject(SiteClientSend) //nolint:errcheck // exhausted: must not observe
+	if len(seen) != 2 || seen[0] != SiteClientSend {
+		t.Fatalf("observer saw %v, want 2× %s", seen, SiteClientSend)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{
+		"", "bogus", "x*error", "delay", "delay(zap)", "shortwrite",
+		"shortwrite(x)", "error(5)", "error%0", "-1*error", "panic(now",
+	} {
+		if err := Enable(SiteStoreAppend, bad); err == nil {
+			t.Errorf("policy %q parsed", bad)
+		}
+	}
+	if err := Enable("no.such.site", "error"); err == nil {
+		t.Error("unknown site armed")
+	}
+	if err := Setup("justasite"); err == nil {
+		t.Error("pair without '=' accepted")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if !Enabled() {
+		t.Fatal("failpoints build reports Enabled() == false")
+	}
+}

@@ -1,0 +1,58 @@
+//go:build !failpoints
+
+package failpoint
+
+// The default build: every hook is a trivially inlinable no-op, so the
+// production hot paths (WAL append, frame decode, first pass) pay literally
+// nothing for carrying injection sites. The only behavior this build keeps
+// is refusal: arming a stub binary is an error, never a silent no-op — a
+// chaos plan that "passes" because the faults were compiled out would be a
+// lie.
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Enabled reports whether this binary can inject faults.
+func Enabled() bool { return false }
+
+// Setup refuses any non-empty activation (explicit spec or environment):
+// this binary was built without the failpoints tag, so the requested faults
+// could never fire.
+func Setup(spec string) error {
+	if spec == "" {
+		spec = os.Getenv(EnvVar)
+	}
+	if spec != "" {
+		return fmt.Errorf("failpoint: binary built without -tags failpoints; %q cannot be armed", spec)
+	}
+	return nil
+}
+
+// Enable always fails on a stub build, for the same reason Setup does.
+func Enable(site, spec string) error {
+	return fmt.Errorf("failpoint: binary built without -tags failpoints; %s=%s cannot be armed", site, spec)
+}
+
+// Disable is a no-op.
+func Disable(string) {}
+
+// Reset is a no-op.
+func Reset() {}
+
+// SetObserver is a no-op.
+func SetObserver(func(site string)) {}
+
+// Hits always reports zero.
+func Hits(string) int64 { return 0 }
+
+// Inject never fires.
+func Inject(string) error { return nil }
+
+// Fire never fires.
+func Fire(string) bool { return false }
+
+// Writer returns w unchanged.
+func Writer(_ string, w io.Writer) io.Writer { return w }

@@ -1,0 +1,74 @@
+//go:build !failpoints
+
+package failpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The stub build must be inert — and loudly refuse to pretend otherwise.
+
+func TestStubRefusesArming(t *testing.T) {
+	if Enabled() {
+		t.Fatal("stub build reports Enabled() == true")
+	}
+	if err := Setup("store.append=1*error"); err == nil {
+		t.Fatal("stub Setup accepted a spec")
+	}
+	if err := Enable(SiteStoreAppend, "1*error"); err == nil {
+		t.Fatal("stub Enable accepted a policy")
+	}
+	t.Setenv(EnvVar, "store.fsync=error")
+	if err := Setup(""); err == nil {
+		t.Fatal("stub Setup accepted an env-var spec")
+	}
+	t.Setenv(EnvVar, "")
+	if err := Setup(""); err != nil {
+		t.Fatalf("stub Setup with nothing to arm: %v", err)
+	}
+}
+
+func TestStubHooksAreNoops(t *testing.T) {
+	if err := Inject(SiteStoreAppend); err != nil {
+		t.Fatalf("stub Inject: %v", err)
+	}
+	if Fire(SiteProtoDecode) {
+		t.Fatal("stub Fire fired")
+	}
+	var buf bytes.Buffer
+	if w := Writer(SiteStoreWrite, &buf); w != &buf {
+		t.Fatal("stub Writer did not pass through")
+	}
+	if Hits(SiteStoreAppend) != 0 {
+		t.Fatal("stub Hits nonzero")
+	}
+	Disable(SiteStoreAppend)
+	Reset()
+	SetObserver(func(string) {})
+}
+
+func TestSiteRegistry(t *testing.T) {
+	sites := Sites()
+	if len(sites) == 0 {
+		t.Fatal("empty site registry")
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if !IsSite(s) {
+			t.Errorf("registered site %q fails IsSite", s)
+		}
+		if seen[s] {
+			t.Errorf("site %q registered twice", s)
+		}
+		seen[s] = true
+	}
+	if IsSite("no.such.site") {
+		t.Error("IsSite accepts an unregistered name")
+	}
+	// Sites returns a copy: mutating it must not poison the registry.
+	sites[0] = "clobbered"
+	if !IsSite(SiteStoreCreate) {
+		t.Error("Sites() aliases the registry")
+	}
+}

@@ -111,6 +111,14 @@ const (
 	MetricStoreRecoveryDropped   = "store.recovery.dropped"   // counter: unrecoverable session dirs discarded
 	MetricStoreRecoveryNs        = "store.recovery.ns"        // histogram: per-session replay wall time
 
+	// Fault injection and overload control (DESIGN.md §15).
+	MetricFaultInjected       = "fault.injected"              // counter: faults fired by the failpoint plane
+	MetricSessionsQuarantined = "server.sessions.quarantined" // counter: sessions isolated after a lifeguard panic
+	MetricServerWriteTimeouts = "server.write.timeouts"       // counter: slow-client write deadlines tripped
+	MetricMemBudgetEstimate   = "mem.budget.estimate"         // gauge: estimated bytes held across all sessions
+	MetricMemBudgetRejects    = "mem.budget.rejects"          // counter: admissions/resumes shed with Reject(overloaded)
+	MetricMemBudgetShed       = "mem.budget.shed"             // counter: attached sessions detached to relieve memory pressure
+
 	// SessionScopePrefix + <short session id> + "." prefixes every metric of
 	// one butterflyd session's obs scope (Registry.Scope, DESIGN.md §13):
 	// "session.3f2a81c4d09e.driver.epochs" is session 3f2a81c4d09e's own

@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"butterfly/internal/core"
+	"butterfly/internal/failpoint"
 	"butterfly/internal/trace"
 )
 
@@ -156,7 +157,9 @@ type Reject struct {
 	// Code is machine-readable: "full", "draining", "bad-request",
 	// "unknown-session", "busy", "version", "lost-progress" (a restarted
 	// server recovered the session with fewer acknowledged epochs than the
-	// client has seen — possible only under `-fsync off`).
+	// client has seen — possible only under `-fsync off`), or "overloaded"
+	// (the server's memory budget is exhausted; retryable with backoff,
+	// like "busy").
 	Code   string `json:"code"`
 	Reason string `json:"reason"`
 }
@@ -179,8 +182,10 @@ type Done struct {
 
 // ErrorMsg aborts a session.
 type ErrorMsg struct {
-	// Code is machine-readable: "quota-bytes", "quota-epochs", "protocol",
-	// "internal".
+	// Code is machine-readable: "quota-bytes", "quota-epochs", "quota-mem"
+	// (the session alone exceeds the per-session memory budget), "protocol",
+	// "internal", "quarantined" (the session's lifeguard panicked and the
+	// session was isolated; its analysis state is not trustworthy).
 	Code   string `json:"code"`
 	Reason string `json:"reason"`
 }
@@ -350,6 +355,13 @@ func DecodeEpoch(payload []byte, nthreads int) (epochNum int, row [][]trace.Even
 // slices of a recycled epoch.RowPool row and decodes without allocating.
 // Pass nil to allocate fresh slices.
 func DecodeEpochInto(payload []byte, nthreads int, into [][]trace.Event) (epochNum int, row [][]trace.Event, err error) {
+	if failpoint.Fire(failpoint.SiteProtoDecode) {
+		// Deterministic decode-time corruption: a real bit flip could decode
+		// into a *valid* row and silently poison the analysis, so the fault
+		// is surfaced the way every detected corruption is — a decode error
+		// the server turns into a protocol abort.
+		return 0, nil, fmt.Errorf("proto: epoch frame corrupted (%w)", failpoint.ErrInjected)
+	}
 	num, n := binary.Uvarint(payload)
 	if n <= 0 || num > 1<<40 {
 		return 0, nil, fmt.Errorf("proto: bad epoch number in epoch frame")

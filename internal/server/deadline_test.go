@@ -1,0 +1,39 @@
+package server
+
+// deadlineWriter unit coverage: the per-Write deadline (DESIGN.md §15)
+// must trip as os.ErrDeadlineExceeded on a stalled peer and stay invisible
+// on a healthy one. net.Pipe is unbuffered, so "nobody reading" stalls a
+// Write immediately — no kernel socket buffers to outwait.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestDeadlineWriterTripsOnStall(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	dw := &deadlineWriter{conn: c1, d: 30 * time.Millisecond}
+	_, err := dw.Write(make([]byte, 1024)) // nobody reads c2: must not block forever
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled write: err = %v, want os.ErrDeadlineExceeded", err)
+	}
+}
+
+func TestDeadlineWriterPassesHealthyWrites(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go io.Copy(io.Discard, c2) //nolint:errcheck // drain until close
+	dw := &deadlineWriter{conn: c1, d: time.Second}
+	for i := 0; i < 8; i++ {
+		if n, err := dw.Write(make([]byte, 512)); err != nil || n != 512 {
+			t.Fatalf("write %d = (%d, %v), want (512, nil)", i, n, err)
+		}
+	}
+}

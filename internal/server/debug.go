@@ -37,6 +37,12 @@ type sessionRow struct {
 	Degraded  bool `json:"degraded,omitempty"`
 	Recovered bool `json:"recovered,omitempty"`
 
+	// Quarantined flips when the session's lifeguard panicked and the
+	// session was isolated (DESIGN.md §15); MemBytes is the session's
+	// latest memory estimate counted against the budgets.
+	Quarantined bool  `json:"quarantined,omitempty"`
+	MemBytes    int64 `json:"mem_bytes"`
+
 	// Progress and wire totals, from the session's scoped counters.
 	Epochs       int64 `json:"epochs"`
 	WindowEvents int64 `json:"window_events"`
@@ -93,6 +99,8 @@ func (s *Server) sessionRow(sess *session, attached bool) sessionRow {
 		Durable:          sess.durable(),
 		Degraded:         sess.degraded.Load(),
 		Recovered:        sess.recovered,
+		Quarantined:      sess.quarantined.Load(),
+		MemBytes:         sess.memEst.Load(),
 		Epochs:           sess.sm.epochs.Value(),
 		WindowEvents:     sess.sm.windowEvents.Value(),
 		BytesIn:          sess.sm.bytesIn.Value(),

@@ -97,7 +97,13 @@ func (s *Server) rebuildSession(rec *store.Recovered) (*session, error) {
 			return fmt.Errorf("epoch %d out of order (expected %d)", gotNum, sess.inc.NextEpoch())
 		}
 		sess.rb.Stamp(blocks)
-		reps, err := sess.inc.FeedEpoch(blocks)
+		// The same containment the live feed path has: a lifeguard panic
+		// while replaying a poisoned log must discard this one session,
+		// never abort the whole recovery (and with it, the process start).
+		reps, err, panicked := s.feedEpoch(sess, blocks)
+		if panicked {
+			return fmt.Errorf("lifeguard panicked at epoch %d: %w", gotNum, err)
+		}
 		if err != nil {
 			return err
 		}
@@ -116,7 +122,10 @@ func (s *Server) rebuildSession(rec *store.Recovered) (*session, error) {
 		}
 	}
 	if rec.Finished {
-		res, err := sess.inc.Finish()
+		res, err, panicked := s.finishInc(sess)
+		if panicked {
+			return discard(fmt.Errorf("replay finish: lifeguard panicked: %w", err))
+		}
 		if err != nil {
 			return discard(fmt.Errorf("replay finish: %w", err))
 		}

@@ -31,12 +31,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"butterfly/internal/core"
+	"butterfly/internal/epoch"
+	"butterfly/internal/failpoint"
 	"butterfly/internal/obs"
 	"butterfly/internal/proto"
 	"butterfly/internal/store"
@@ -66,6 +72,20 @@ type Config struct {
 	// HelloTimeout bounds how long a fresh connection may take to present
 	// its Hello. 0 → 10 seconds.
 	HelloTimeout time.Duration
+	// WriteTimeout bounds each write toward a client: a session whose reader
+	// stalls past it is disconnected (detached first, evicted on repeat
+	// offense) instead of wedging its handler on a full TCP buffer.
+	// 0 → 30 seconds; negative → no deadline.
+	WriteTimeout time.Duration
+	// MemBudget bounds the estimated bytes held by all sessions together
+	// (sliding windows, SOS state, replay buffers — DESIGN.md §15). Above
+	// it, fresh Hellos and resumes are shed with Reject("overloaded") and
+	// the feeding path detaches sessions to stop the inflow; in-flight
+	// epochs are never aborted. 0 → unlimited.
+	MemBudget int64
+	// SessionMemBudget bounds one session's estimate; a breach aborts that
+	// session with a "quota-mem" error. 0 → unlimited.
+	SessionMemBudget int64
 	// Obs, when non-nil, receives service and driver telemetry. Each session
 	// additionally gets a child scope ("session.<shortID>.*", DESIGN.md §13)
 	// whose metrics chain into the globals.
@@ -107,6 +127,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.HelloTimeout <= 0 {
 		cfg.HelloTimeout = 10 * time.Second
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
 	if cfg.Log == nil {
 		cfg.Log = obs.DiscardLogger()
 	}
@@ -126,6 +149,10 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
+	// memTotal is the summed per-session memory estimate (sess.memEst); the
+	// budget plane reads it lock-free at admission and after every feed.
+	memTotal atomic.Int64
+
 	wg sync.WaitGroup // live connection handlers
 
 	m serverMetrics
@@ -138,17 +165,24 @@ type Server struct {
 type serverMetrics struct {
 	active, detached                                *obs.Gauge
 	accepted, rejected, resumed, evicted, completed *obs.Counter
+	quarantined, memRejects, memShed, writeTimeouts *obs.Counter
+	memEstimate                                     *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
 	return serverMetrics{
-		active:    reg.Gauge(obs.MetricSessionsActive),
-		detached:  reg.Gauge(obs.MetricSessionsDetached),
-		accepted:  reg.Counter(obs.MetricSessionsAccepted),
-		rejected:  reg.Counter(obs.MetricSessionsRejected),
-		resumed:   reg.Counter(obs.MetricSessionsResumed),
-		evicted:   reg.Counter(obs.MetricSessionsEvicted),
-		completed: reg.Counter(obs.MetricSessionsCompleted),
+		active:        reg.Gauge(obs.MetricSessionsActive),
+		detached:      reg.Gauge(obs.MetricSessionsDetached),
+		accepted:      reg.Counter(obs.MetricSessionsAccepted),
+		rejected:      reg.Counter(obs.MetricSessionsRejected),
+		resumed:       reg.Counter(obs.MetricSessionsResumed),
+		evicted:       reg.Counter(obs.MetricSessionsEvicted),
+		completed:     reg.Counter(obs.MetricSessionsCompleted),
+		quarantined:   reg.Counter(obs.MetricSessionsQuarantined),
+		memRejects:    reg.Counter(obs.MetricMemBudgetRejects),
+		memShed:       reg.Counter(obs.MetricMemBudgetShed),
+		writeTimeouts: reg.Counter(obs.MetricServerWriteTimeouts),
+		memEstimate:   reg.Gauge(obs.MetricMemBudgetEstimate),
 	}
 }
 
@@ -172,6 +206,12 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		sessions: map[string]*session{},
 		conns:    map[net.Conn]struct{}{},
 		m:        newServerMetrics(cfg.Obs),
+	}
+	if failpoint.Enabled() && cfg.Obs != nil {
+		// fault.injected counts every fired failpoint; process-global like
+		// the plane itself (chaos builds host one fault plan at a time).
+		fi := cfg.Obs.Counter(obs.MetricFaultInjected)
+		failpoint.SetObserver(func(string) { fi.Inc() })
 	}
 	if cfg.Store != nil {
 		if err := s.recoverSessions(); err != nil {
@@ -275,6 +315,9 @@ func (s *Server) admit(h proto.Hello) (*session, *proto.Reject) {
 			Reason: fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
 	}
 	s.mu.Unlock()
+	if rej := s.overloadedReject(); rej != nil {
+		return nil, rej
+	}
 
 	sess, rej := s.newSession(h)
 	if rej != nil {
@@ -322,6 +365,15 @@ func (s *Server) reattach(h proto.Hello) (*session, *proto.Reject) {
 			Reason: fmt.Sprintf("client acked epoch %d but the session resumes at %d",
 				h.AckedEpoch, sess.inc.NextEpoch())}
 	}
+	if s.cfg.MemBudget > 0 && s.memTotal.Load() > s.cfg.MemBudget && s.anyAttachedLocked(sess) {
+		// Shed the resume only while some other attached session is making
+		// progress: an idle over-budget server must always let its last
+		// client back in, or a too-small budget starves everyone forever.
+		s.m.memRejects.Inc()
+		return nil, &proto.Reject{Code: "overloaded",
+			Reason: fmt.Sprintf("memory budget exhausted (%d of %d bytes estimated)",
+				s.memTotal.Load(), s.cfg.MemBudget)}
+	}
 	if sess.evictTimer != nil {
 		sess.evictTimer.Stop()
 		sess.evictTimer = nil
@@ -330,6 +382,35 @@ func (s *Server) reattach(h proto.Hello) (*session, *proto.Reject) {
 	s.m.detached.Add(-1)
 	s.m.active.Add(1)
 	return sess, nil
+}
+
+// overloadedReject sheds a fresh Hello when the memory budget is exhausted
+// and at least one attached session is draining it down.
+func (s *Server) overloadedReject() *proto.Reject {
+	if s.cfg.MemBudget <= 0 || s.memTotal.Load() <= s.cfg.MemBudget {
+		return nil
+	}
+	s.mu.Lock()
+	live := s.anyAttachedLocked(nil)
+	s.mu.Unlock()
+	if !live {
+		return nil // nobody is holding the memory hostage; admit and proceed
+	}
+	s.m.memRejects.Inc()
+	return &proto.Reject{Code: "overloaded",
+		Reason: fmt.Sprintf("memory budget exhausted (%d of %d bytes estimated)",
+			s.memTotal.Load(), s.cfg.MemBudget)}
+}
+
+// anyAttachedLocked reports whether any session other than skip has a live
+// connection. Caller holds s.mu.
+func (s *Server) anyAttachedLocked(skip *session) bool {
+	for _, sess := range s.sessions {
+		if sess != skip && sess.attached {
+			return true
+		}
+	}
+	return false
 }
 
 // detach parks a session for later resume; its checkpoint survives until
@@ -406,6 +487,7 @@ func (s *Server) evict(sess *session, completed bool) {
 // timer, and Shutdown all race on the registry delete and only the winner
 // proceeds here.
 func (s *Server) cleanupSession(sess *session, dropWAL bool) {
+	s.m.memEstimate.Set(s.memTotal.Add(-sess.memEst.Swap(0)))
 	sess.inc.Close()
 	if sess.wal != nil {
 		if dropWAL {
@@ -446,7 +528,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	// Writes toward the client go through the per-write deadline (slow-client
+	// protection) and the server.write failpoint, both under the buffer so a
+	// short write tears a frame mid-flush exactly like a real stall would.
+	var cw io.Writer = conn
+	if s.cfg.WriteTimeout > 0 {
+		cw = &deadlineWriter{conn: conn, d: s.cfg.WriteTimeout}
+	}
+	bw := bufio.NewWriter(failpoint.Writer(failpoint.SiteServerWrite, cw))
 
 	conn.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
 	ft, payload, err := proto.ReadFrame(br)
@@ -516,6 +605,122 @@ func (s *Server) sessionError(bw *bufio.Writer, sess *session, code, reason stri
 	s.evict(sess, false)
 }
 
+// deadlineWriter arms a write deadline before every Write so a client that
+// stops reading cannot wedge its handler on a full TCP buffer: the write
+// fails with os.ErrDeadlineExceeded and the session is disconnected.
+type deadlineWriter struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	w.conn.SetWriteDeadline(time.Now().Add(w.d))
+	return w.conn.Write(p)
+}
+
+// dropSlow handles a failed write toward the client. A tripped write
+// deadline is a slow client, not a dead one — progressive disconnect: the
+// first strike detaches (the checkpoint survives; a recovered client
+// resumes), a repeat offender is evicted. Other write failures are ordinary
+// connection loss and detach as before.
+func (s *Server) dropSlow(sess *session, err error) {
+	if err == nil || !errors.Is(err, os.ErrDeadlineExceeded) {
+		s.detach(sess)
+		return
+	}
+	s.m.writeTimeouts.Inc()
+	sess.slowStrikes++
+	sess.flight.Record(obs.FlightError, -1, 0, 0,
+		fmt.Sprintf("write deadline exceeded (strike %d)", sess.slowStrikes))
+	s.log.Warn("slow client", "session", sess.shortID, "trace", sess.traceID,
+		"strikes", sess.slowStrikes, "write_timeout", s.cfg.WriteTimeout.String())
+	if sess.slowStrikes >= 2 {
+		s.log.Error("slow client evicted", "session", sess.shortID, "trace", sess.traceID,
+			"strikes", sess.slowStrikes, "flight", sess.flight.Tail(8))
+		s.evict(sess, false)
+		return
+	}
+	s.detach(sess)
+}
+
+// feedEpoch runs one epoch tick under the worker-slot semaphore, converting
+// a panicking lifeguard — boxed onto the feeding goroutine by the driver
+// (core.WorkerPanic), or erupting right here — into a quarantine verdict
+// instead of a process crash.
+func (s *Server) feedEpoch(sess *session, blocks []*epoch.Block) (reps []core.Report, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = panicError(r)
+		}
+	}()
+	if err := failpoint.Inject(failpoint.SiteServerFeed); err != nil {
+		// The feeding-goroutine quarantine drill; error policies panic too,
+		// since the feed path's error channel belongs to the driver.
+		panic(err)
+	}
+	reps, err = sess.inc.FeedEpoch(blocks)
+	return reps, err, false
+}
+
+// finishInc is feedEpoch for the trailing Finish tick.
+func (s *Server) finishInc(sess *session) (res *core.Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = panicError(r)
+		}
+	}()
+	res, err = sess.inc.Finish()
+	return res, err, false
+}
+
+// panicError shapes a recovered panic value into the quarantine error.
+func panicError(r any) error {
+	if wp, ok := r.(*core.WorkerPanic); ok {
+		return wp
+	}
+	return fmt.Errorf("panic: %v", r)
+}
+
+// quarantine isolates a session whose lifeguard panicked: the session is
+// marked, the flight-recorder tail and the worker stack go to the log, the
+// client gets a typed "quarantined" abort — and the process and every
+// sibling session keep running untouched.
+func (s *Server) quarantine(bw *bufio.Writer, sess *session, err error) {
+	sess.quarantined.Store(true)
+	s.m.quarantined.Inc()
+	var wp *core.WorkerPanic
+	if errors.As(err, &wp) && len(wp.Stack) > 0 {
+		s.log.Error("lifeguard panic (worker stack follows)", "session", sess.shortID,
+			"trace", sess.traceID, "panic", fmt.Sprint(wp.Val), "stack", string(wp.Stack))
+	}
+	s.sessionError(bw, sess, "quarantined", "lifeguard panicked; session isolated: "+err.Error())
+}
+
+// noteMemUsage refreshes the session's memory estimate after a feed and
+// applies the budgets. It returns a non-empty abort reason when the session
+// alone blew its budget, and shed=true when the global budget is exhausted
+// and this session should be detached to stop the inflow (only ever when a
+// sibling is attached — the last session always gets to finish).
+func (s *Server) noteMemUsage(sess *session) (abort string, shed bool) {
+	est := sess.inc.MemEstimate() + int64(sess.nreports)*memPerReplayReport
+	total := s.memTotal.Add(est - sess.memEst.Swap(est))
+	s.m.memEstimate.Set(total)
+	if s.cfg.SessionMemBudget > 0 && est > s.cfg.SessionMemBudget {
+		return fmt.Sprintf("session holds ~%d bytes, budget %d", est, s.cfg.SessionMemBudget), false
+	}
+	if s.cfg.MemBudget > 0 && total > s.cfg.MemBudget {
+		s.mu.Lock()
+		shed = s.anyAttachedLocked(sess)
+		s.mu.Unlock()
+	}
+	return "", shed
+}
+
+// memPerReplayReport is the estimated bytes one buffered replay report pins.
+const memPerReplayReport = 64
+
 // serveSession drives one attached session until the trace completes or the
 // connection drops. acked is the client's last received Ack (−1 for none):
 // report frames after it are replayed before new input is consumed.
@@ -524,12 +729,12 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 		Finished: sess.finished, Shards: sess.inc.Shards(),
 		Durable: sess.durable(), Recovered: sess.recovered}
 	if err := proto.WriteJSON(bw, proto.FrameWelcome, welcome); err != nil {
-		s.detach(sess)
+		s.dropSlow(sess, err)
 		return
 	}
 	for _, rep := range sess.replayAfter(acked) {
 		if err := proto.WriteJSON(bw, proto.FrameReports, rep); err != nil {
-			s.detach(sess)
+			s.dropSlow(sess, err)
 			return
 		}
 		sess.sm.reportsOut.Add(int64(len(rep.Reports)))
@@ -539,7 +744,7 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 		return
 	}
 	if err := bw.Flush(); err != nil {
-		s.detach(sess)
+		s.dropSlow(sess, err)
 		return
 	}
 
@@ -551,6 +756,12 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 	// as FrameReader requires.
 	fr := proto.NewFrameReader(br)
 	for {
+		// server.read: a delay policy stalls this read (slow network), an
+		// error policy drops the connection as a mid-stream network fault.
+		if err := failpoint.Inject(failpoint.SiteServerRead); err != nil {
+			s.detach(sess)
+			return
+		}
 		ft, payload, err := fr.Read()
 		if err != nil {
 			s.detach(sess)
@@ -595,12 +806,16 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			tick0 := time.Now()
 			s.acquire()
 			wait := time.Since(tick0)
-			reps, err := sess.inc.FeedEpoch(blocks)
+			reps, err, panicked := s.feedEpoch(sess, blocks)
 			s.release()
 			dur := time.Since(tick0)
 			sess.sm.waitNs.Observe(wait)
 			sess.sm.feedNs.Observe(dur)
 			sess.flight.Record(obs.FlightEpoch, num, dur, wait, "")
+			if panicked {
+				s.quarantine(bw, sess, err)
+				return
+			}
 			if err != nil {
 				s.sessionError(bw, sess, "internal", err.Error())
 				return
@@ -622,24 +837,43 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			}
 			if len(reps) > 0 {
 				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: num, Reports: reps}); err != nil {
-					s.detach(sess)
+					s.dropSlow(sess, err)
 					return
 				}
 				sess.sm.reportsOut.Add(int64(len(reps)))
 			}
 			if err := proto.WriteFrame(bw, proto.FrameAck, proto.EncodeAck(num)); err != nil {
-				s.detach(sess)
+				s.dropSlow(sess, err)
 				return
 			}
 			if err := bw.Flush(); err != nil {
+				s.dropSlow(sess, err)
+				return
+			}
+			// Budget check only after the Ack left: overload never aborts an
+			// in-flight epoch, it sheds by detaching at a checkpoint the
+			// client can resume from (and gets Reject(overloaded) + backoff
+			// until pressure drops).
+			if abort, shed := s.noteMemUsage(sess); abort != "" {
+				s.sessionError(bw, sess, "quota-mem", abort)
+				return
+			} else if shed {
+				s.m.memShed.Inc()
+				sess.flight.Record(obs.FlightNote, num, 0, 0, "shed: memory budget")
+				s.log.Warn("session shed under memory pressure", "session", sess.shortID,
+					"trace", sess.traceID, "estimate", s.memTotal.Load(), "budget", s.cfg.MemBudget)
 				s.detach(sess)
 				return
 			}
 
 		case proto.FrameEnd:
 			s.acquire()
-			res, err := sess.inc.Finish()
+			res, err, panicked := s.finishInc(sess)
 			s.release()
+			if panicked {
+				s.quarantine(bw, sess, err)
+				return
+			}
 			if err != nil {
 				s.sessionError(bw, sess, "internal", err.Error())
 				return
@@ -658,7 +892,7 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 			}
 			if len(res.Reports) > 0 {
 				if err := proto.WriteJSON(bw, proto.FrameReports, proto.Reports{Epoch: res.Epochs, Reports: res.Reports}); err != nil {
-					s.detach(sess)
+					s.dropSlow(sess, err)
 					return
 				}
 				sess.sm.reportsOut.Add(int64(len(res.Reports)))
@@ -680,11 +914,11 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader, bw *bufio.Writer,
 // the goodbye leaves the finished session resumable for the grace period.
 func (s *Server) finishSession(br *bufio.Reader, bw *bufio.Writer, sess *session) {
 	if err := proto.WriteJSON(bw, proto.FrameDone, sess.done); err != nil {
-		s.detach(sess)
+		s.dropSlow(sess, err)
 		return
 	}
 	if err := bw.Flush(); err != nil {
-		s.detach(sess)
+		s.dropSlow(sess, err)
 		return
 	}
 	ft, _, err := proto.ReadFrame(br)

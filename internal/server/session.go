@@ -84,6 +84,17 @@ type session struct {
 	degraded  atomic.Bool
 	recovered bool
 
+	// quarantined flips when the session's lifeguard panicked and the
+	// session was isolated — atomic because /sessions reads it concurrently.
+	quarantined atomic.Bool
+	// memEst is this session's latest memory estimate; its sum across
+	// sessions is Server.memTotal. Written by the attached goroutine after
+	// each feed, read concurrently by admission and /sessions.
+	memEst atomic.Int64
+	// slowStrikes counts tripped write deadlines (progressive disconnect:
+	// detach first, evict repeat offenders). Attached-goroutine only.
+	slowStrikes int
+
 	// finished is set once End was processed and Done computed.
 	finished bool
 	done     proto.Done

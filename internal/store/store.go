@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"butterfly/internal/failpoint"
 	"butterfly/internal/obs"
 	"butterfly/internal/proto"
 )
@@ -246,6 +247,9 @@ func segName(seq int) string { return fmt.Sprintf("%08d.wal", seq) }
 // documented bounded-regression contract — while kill -9 safety needs only
 // the flush.
 func (st *Store) Create(id string, meta Meta, scope *obs.Registry) (*Log, error) {
+	if err := failpoint.Inject(failpoint.SiteStoreCreate); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	dir := filepath.Join(st.o.Dir, id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -282,10 +286,14 @@ func (l *Log) openSegment(seq int) error {
 		return l.fail(err)
 	}
 	l.seq, l.f, l.size, l.snapsHere = seq, f, 0, 0
+	// store.write faults (short writes, errors) hit the segment file under
+	// the buffer, so an injected torn record looks exactly like a real one:
+	// flushed partially, then failed. The stub build returns f unchanged.
+	w := failpoint.Writer(failpoint.SiteStoreWrite, f)
 	if l.bw == nil {
-		l.bw = bufio.NewWriterSize(f, 64<<10)
+		l.bw = bufio.NewWriterSize(w, 64<<10)
 	} else {
-		l.bw.Reset(f)
+		l.bw.Reset(w)
 	}
 	var hdr [segHdrLen]byte
 	copy(hdr[:], segMagic)
@@ -301,6 +309,9 @@ func (l *Log) openSegment(seq int) error {
 func (l *Log) append(typ byte, payload []byte) error {
 	if l.err != nil {
 		return l.err
+	}
+	if err := failpoint.Inject(failpoint.SiteStoreAppend); err != nil {
+		return l.fail(err)
 	}
 	n, err := appendRecord(l.bw, l.scratch[:], typ, payload)
 	if err != nil {
@@ -329,6 +340,9 @@ func (l *Log) Err() error { return l.err }
 func (l *Log) sync() error {
 	if l.err != nil {
 		return l.err
+	}
+	if err := failpoint.Inject(failpoint.SiteStoreFsync); err != nil {
+		return l.fail(err)
 	}
 	start := time.Now()
 	if err := l.f.Sync(); err != nil {
@@ -430,6 +444,9 @@ func (l *Log) AppendFinish(done proto.Done, snap Snapshot) error {
 // fully snapshotted: recovery state at any segment boundary is described by
 // the snapshot just past it.
 func (l *Log) rotate(snap Snapshot) error {
+	if err := failpoint.Inject(failpoint.SiteStoreRotate); err != nil {
+		return l.fail(err)
+	}
 	if err := l.bw.Flush(); err != nil {
 		return l.fail(err)
 	}
